@@ -1,0 +1,28 @@
+//! # escra-baselines
+//!
+//! The allocation policies Escra is compared against in the paper's
+//! evaluation:
+//!
+//! * [`static_alloc`] — common practice: fixed limits at
+//!   `factor × profiled peak` (0.75× / 1.0× / 1.5×, §VI-B);
+//! * [`autopilot`] — a recreation of Google Autopilot's moving-window +
+//!   multi-armed-bandit recommender (§VI-A), with a configurable update
+//!   period for the 1 s / 10 s / 30 s / 60 s sensitivity study;
+//! * [`vpa`] — a Kubernetes VPA-style threshold autoscaler whose updates
+//!   require container restarts and are rate-limited to one per minute
+//!   (§II);
+//! * [`types`] — the [`types::PeriodicScaler`] trait and shared
+//!   recommendation/profile types.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod autopilot;
+pub mod static_alloc;
+pub mod types;
+pub mod vpa;
+
+pub use autopilot::{Arm, AutopilotConfig, AutopilotScaler};
+pub use static_alloc::StaticPolicy;
+pub use types::{ContainerProfile, LimitUpdate, PeriodicScaler, UsageSample};
+pub use vpa::{VpaConfig, VpaScaler};

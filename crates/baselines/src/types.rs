@@ -1,0 +1,90 @@
+//! Shared types for baseline autoscaling policies.
+
+use escra_cluster::ContainerId;
+use escra_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A limit recommendation emitted by a periodic autoscaler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LimitUpdate {
+    /// Target container.
+    pub container: ContainerId,
+    /// New CPU limit in cores, if changed.
+    pub cpu_limit_cores: Option<f64>,
+    /// New memory limit in bytes, if changed.
+    pub mem_limit_bytes: Option<u64>,
+    /// Whether applying this update restarts the container (VPA does;
+    /// Autopilot and Escra do not).
+    pub requires_restart: bool,
+}
+
+/// One usage observation for a container over a sample interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsageSample {
+    /// Mean CPU usage over the interval, in cores.
+    pub cpu_cores: f64,
+    /// Memory usage at the end of the interval, in bytes.
+    pub mem_bytes: u64,
+}
+
+/// A periodic (sampling) autoscaler: the interface shared by the
+/// Autopilot recreation and the VPA-style scaler. The harness feeds one
+/// [`UsageSample`] per container per sample period and asks for
+/// recommendations every update period.
+pub trait PeriodicScaler {
+    /// Ingests one usage sample for `container`.
+    fn observe(&mut self, container: ContainerId, sample: UsageSample);
+
+    /// Produces limit updates; called once per update period.
+    fn recommend(&mut self) -> Vec<LimitUpdate>;
+
+    /// Notifies the scaler that `container` was OOM-killed at its
+    /// current memory limit. Default: no reaction. Autopilot reacts by
+    /// raising its memory estimate (usage can never be observed above
+    /// the limit, so without this signal an undersized limit is a fixed
+    /// point and the container crash-loops).
+    fn on_oom(&mut self, container: ContainerId, limit_bytes: u64) {
+        let _ = (container, limit_bytes);
+    }
+
+    /// How often [`PeriodicScaler::recommend`] should be called.
+    fn update_period(&self) -> SimDuration;
+}
+
+/// Peak resource usage measured for one container during a profiling run
+/// (with coarse, seconds-level aggregation — the paper stresses that
+/// such tooling "smooths out usage spikes", §VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ContainerProfile {
+    /// Peak 1-second-averaged CPU usage, in cores.
+    pub peak_cpu_cores: f64,
+    /// Peak memory usage, in bytes.
+    pub peak_mem_bytes: u64,
+}
+
+impl ContainerProfile {
+    /// Scales the profile by a provisioning factor (0.75× / 1.0× / 1.5×
+    /// in the paper's under/best/safe provisioning study).
+    pub fn scaled(&self, factor: f64) -> ContainerProfile {
+        ContainerProfile {
+            peak_cpu_cores: self.peak_cpu_cores * factor,
+            peak_mem_bytes: (self.peak_mem_bytes as f64 * factor) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_scaling() {
+        let p = ContainerProfile {
+            peak_cpu_cores: 2.0,
+            peak_mem_bytes: 1000,
+        };
+        let s = p.scaled(1.5);
+        assert_eq!(s.peak_cpu_cores, 3.0);
+        assert_eq!(s.peak_mem_bytes, 1500);
+    }
+}

@@ -1,0 +1,136 @@
+//! Criterion microbenchmarks of the Escra control plane: how expensive
+//! is one telemetry ingest, one allocator decision, one Autopilot
+//! recommender step. These back the §VI-I controller-capacity analysis
+//! (`overhead_controller` converts ingest rate into containers/core).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use escra_baselines::{AutopilotConfig, AutopilotScaler, PeriodicScaler, UsageSample};
+use escra_cfs::{CpuPeriodStats, MIB};
+use escra_cluster::{AppId, ContainerId, NodeId};
+use escra_core::allocator::ResourceAllocator;
+use escra_core::telemetry::ToController;
+use escra_core::{Controller, EscraConfig};
+use escra_simcore::time::SimTime;
+use std::hint::black_box;
+
+fn stats(throttled: bool) -> CpuPeriodStats {
+    CpuPeriodStats {
+        quota_cores: 1.0,
+        usage_us: if throttled { 100_000.0 } else { 40_000.0 },
+        unused_runtime_us: if throttled { 0.0 } else { 60_000.0 },
+        throttled,
+    }
+}
+
+fn allocator_with(n: u64) -> ResourceAllocator {
+    let mut a = ResourceAllocator::new(EscraConfig::default());
+    a.register_app(AppId::new(0), n as f64, n * 256 * MIB);
+    for i in 0..n {
+        a.register_container(ContainerId::new(i), AppId::new(0), NodeId::new(i % 8), 1.0, 128 * MIB)
+            .expect("register");
+    }
+    a
+}
+
+fn bench_allocator_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    group.sample_size(30);
+    for n in [10u64, 100, 1_000] {
+        group.bench_function(format!("cpu_decision/{n}_containers"), |b| {
+            let mut alloc = allocator_with(n);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(
+                    alloc
+                        .on_cpu_stats(ContainerId::new(i), stats(i.is_multiple_of(5)))
+                        .expect("tracked"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_controller_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.sample_size(30);
+    group.bench_function("ingest_cpu_stats/1000_containers", |b| {
+        let n = 1_000u64;
+        let mut ctl = Controller::new(EscraConfig::default());
+        ctl.register_app(AppId::new(0), n as f64, n * 256 * MIB);
+        for i in 0..n {
+            ctl.register_container(ContainerId::new(i), AppId::new(0), NodeId::new(i % 8), 1.0, 128 * MIB)
+                .expect("register");
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % n;
+            let msg = ToController::CpuStats {
+                container: ContainerId::new(i),
+                stats: stats(i.is_multiple_of(5)),
+            };
+            black_box(ctl.handle(SimTime::ZERO, msg))
+        });
+    });
+    group.bench_function("oom_event_grant", |b| {
+        b.iter_batched(
+            || {
+                let mut ctl = Controller::new(EscraConfig::default());
+                ctl.register_app(AppId::new(0), 8.0, 8 << 30);
+                ctl.register_container(ContainerId::new(0), AppId::new(0), NodeId::new(0), 1.0, 256 * MIB)
+                    .expect("register");
+                ctl
+            },
+            |mut ctl| {
+                black_box(ctl.handle(
+                    SimTime::ZERO,
+                    ToController::OomEvent {
+                        container: ContainerId::new(0),
+                        shortfall_bytes: MIB,
+                    },
+                ))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_autopilot_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autopilot");
+    group.sample_size(20);
+    group.bench_function("observe/100_containers", |b| {
+        let mut ap = AutopilotScaler::new(AutopilotConfig::default());
+        for i in 0..100u64 {
+            ap.seed_profile(ContainerId::new(i), 1.0, 256 * MIB, 10);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100;
+            ap.observe(
+                ContainerId::new(i),
+                UsageSample {
+                    cpu_cores: 0.5 + (i % 7) as f64 * 0.1,
+                    mem_bytes: 128 * MIB,
+                },
+            );
+        });
+    });
+    group.bench_function("recommend/100_containers", |b| {
+        let mut ap = AutopilotScaler::new(AutopilotConfig::default());
+        for i in 0..100u64 {
+            ap.seed_profile(ContainerId::new(i), 1.0, 256 * MIB, 10);
+        }
+        b.iter(|| black_box(ap.recommend()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allocator_decision,
+    bench_controller_ingest,
+    bench_autopilot_step
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the simulated substrates: CFS period
+//! accounting, node arbitration, histogram recording, and a full
+//! end-to-end simulated second of the smallest paper application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use escra_cfs::node::arbitrate;
+use escra_cfs::CpuBandwidth;
+use escra_harness::{run, MicroSimConfig, Policy};
+use escra_simcore::histogram::LogHistogram;
+use escra_simcore::rng::SimRng;
+use escra_simcore::time::SimDuration;
+use escra_workloads::{teastore, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_cfs_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfs");
+    group.sample_size(30);
+    group.bench_function("consume_and_end_period", |b| {
+        let mut bw = CpuBandwidth::new(2.0);
+        b.iter(|| {
+            bw.consume(black_box(150_000.0));
+            black_box(bw.end_period())
+        });
+    });
+    group.finish();
+}
+
+fn bench_arbitrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node");
+    group.sample_size(30);
+    let mut rng = SimRng::new(1);
+    for n in [8usize, 64] {
+        let demands: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 200_000.0)).collect();
+        group.bench_function(format!("arbitrate/{n}_containers"), |b| {
+            b.iter(|| black_box(arbitrate(black_box(500_000.0), &demands)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    group.sample_size(30);
+    group.bench_function("record", |b| {
+        let mut h = LogHistogram::new();
+        let mut rng = SimRng::new(2);
+        b.iter(|| h.record(black_box(rng.exponential(0.01))));
+    });
+    group.bench_function("percentile_p999", |b| {
+        let mut h = LogHistogram::new();
+        let mut rng = SimRng::new(3);
+        for _ in 0..100_000 {
+            h.record(rng.exponential(0.01));
+        }
+        b.iter(|| black_box(h.percentile(99.9)));
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("teastore_escra_5s_run", |b| {
+        b.iter(|| {
+            let cfg = MicroSimConfig::new(
+                teastore(),
+                WorkloadKind::Fixed { rps: 150.0 },
+                Policy::escra_default(),
+                7,
+            )
+            .with_duration(SimDuration::from_secs(5));
+            black_box(run(&cfg).metrics.throughput())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cfs_tick,
+    bench_arbitrate,
+    bench_histogram,
+    bench_end_to_end_second
+);
+criterion_main!(benches);

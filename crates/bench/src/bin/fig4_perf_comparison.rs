@@ -1,0 +1,65 @@
+//! Regenerates **Fig. 4**: % decrease in 99.9 % latency and % increase
+//! in throughput of Escra vs Autopilot and vs Static-1.5×, for all four
+//! applications × four workloads.
+
+use escra_bench::{run_matrix, write_json, RUN_SECS, SEED};
+use escra_metrics::{to_json, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Bar {
+    app: String,
+    workload: String,
+    vs: String,
+    latency_decrease_pct: f64,
+    throughput_increase_pct: f64,
+}
+
+fn main() {
+    let cells = run_matrix(RUN_SECS, SEED);
+    let mut table = Table::new(vec![
+        "app",
+        "workload",
+        "dLat vs Static%",
+        "dTput vs Static%",
+        "dLat vs Autopilot%",
+        "dTput vs Autopilot%",
+    ]);
+    let mut bars = Vec::new();
+    for c in &cells {
+        let lat = |m: &escra_metrics::RunMetrics| m.latency.p(99.9);
+        let d_lat_static = (lat(&c.static_1_5) - lat(&c.escra)) / lat(&c.static_1_5) * 100.0;
+        let d_tput_static =
+            (c.escra.throughput() - c.static_1_5.throughput()) / c.static_1_5.throughput() * 100.0;
+        let d_lat_ap = (lat(&c.autopilot) - lat(&c.escra)) / lat(&c.autopilot) * 100.0;
+        let d_tput_ap =
+            (c.escra.throughput() - c.autopilot.throughput()) / c.autopilot.throughput() * 100.0;
+        table.row(vec![
+            c.app.into(),
+            c.workload.into(),
+            format!("{d_lat_static:.1}"),
+            format!("{d_tput_static:.1}"),
+            format!("{d_lat_ap:.1}"),
+            format!("{d_tput_ap:.1}"),
+        ]);
+        for (vs, dl, dt) in [
+            ("static-1.5x", d_lat_static, d_tput_static),
+            ("autopilot", d_lat_ap, d_tput_ap),
+        ] {
+            bars.push(Bar {
+                app: c.app.into(),
+                workload: c.workload.into(),
+                vs: vs.into(),
+                latency_decrease_pct: dl,
+                throughput_increase_pct: dt,
+            });
+        }
+    }
+    println!("Fig. 4 — change in 99.9% latency and throughput, Escra vs baselines");
+    println!("(positive = Escra better; paper reports up to 96.9% latency decrease and");
+    println!(" 134%/324% TrainTicket burst/exp throughput increases, with a few small");
+    println!(" negative cells such as TrainTicket-fixed at -5.5% tput)\n");
+    println!("{}", table.render());
+    let path = write_json("fig4_perf_comparison", &to_json(&bars));
+    println!("bars written to {}", path.display());
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Fig. 8**: aggregate CPU and memory limits over time for
+//! ImageProcess under OpenWhisk vs OpenWhisk + Escra, plus the savings
+//! series (OpenWhisk limit minus Escra limit).
+
+use escra_bench::write_json;
+use escra_core::EscraConfig;
+use escra_harness::serverless_sim::{run_serverless, ServerlessConfig, ServerlessApp};
+use escra_metrics::{to_json, Table};
+use escra_workloads::serverless::image_process;
+
+fn main() {
+    let run = |escra: bool| {
+        let cfg = ServerlessConfig {
+            app: ServerlessApp::ImageProcess { iterations: 1 },
+            ..ServerlessConfig::image_process(escra.then(EscraConfig::default), 11)
+        };
+        run_serverless(&cfg, &image_process()).metrics
+    };
+    let vanilla = run(false);
+    let escra = run(true);
+
+    let mut table = Table::new(vec![
+        "t(s)",
+        "OW cpu(cores)",
+        "Escra cpu",
+        "cpu savings",
+        "OW mem(MiB)",
+        "Escra mem",
+        "mem savings",
+    ]);
+    let v_cpu = vanilla.cpu_limit_series.resample_secs(30);
+    let e_cpu = escra.cpu_limit_series.resample_secs(30);
+    let v_mem = vanilla.mem_limit_series.resample_secs(30);
+    let e_mem = escra.mem_limit_series.resample_secs(30);
+    for i in 0..v_cpu.len().min(e_cpu.len()) {
+        table.row(vec![
+            format!("{:.0}", v_cpu[i].0),
+            format!("{:.1}", v_cpu[i].1),
+            format!("{:.1}", e_cpu[i].1),
+            format!("{:.1}", v_cpu[i].1 - e_cpu[i].1),
+            format!("{:.0}", v_mem[i].1),
+            format!("{:.0}", e_mem[i].1),
+            format!("{:.0}", v_mem[i].1 - e_mem[i].1),
+        ]);
+    }
+    println!("Fig. 8 — ImageProcess aggregate limits (30 s buckets over one iteration)");
+    println!("(paper: OpenWhisk ~12 vCPU vs Escra ~7 vCPU, memory savings ~1550 MiB)\n");
+    println!("{}", table.render());
+    println!(
+        "means: OW cpu {:.1} cores vs Escra {:.1} (saving {:.1}); OW mem {:.0} MiB vs Escra {:.0} (saving {:.0})",
+        vanilla.cpu_limit_series.mean(),
+        escra.cpu_limit_series.mean(),
+        vanilla.cpu_limit_series.mean() - escra.cpu_limit_series.mean(),
+        vanilla.mem_limit_series.mean(),
+        escra.mem_limit_series.mean(),
+        vanilla.mem_limit_series.mean() - escra.mem_limit_series.mean(),
+    );
+    let dump = (
+        vanilla.cpu_limit_series.resample_secs(1),
+        escra.cpu_limit_series.resample_secs(1),
+        vanilla.mem_limit_series.resample_secs(1),
+        escra.mem_limit_series.resample_secs(1),
+    );
+    let path = write_json("fig8_imageprocess_limits", &to_json(&dump));
+    println!("series written to {}", path.display());
+}

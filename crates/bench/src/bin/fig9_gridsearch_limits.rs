@@ -1,0 +1,69 @@
+//! Regenerates **Fig. 9**: aggregate CPU and memory limits over the
+//! lifetime of one GridSearch job, OpenWhisk vs OpenWhisk + Escra, plus
+//! the savings series.
+
+use escra_bench::write_json;
+use escra_core::EscraConfig;
+use escra_harness::serverless_sim::{run_serverless, ServerlessConfig};
+use escra_metrics::{to_json, Table};
+use escra_workloads::serverless::grid_search_task;
+
+fn main() {
+    let run = |escra: bool| {
+        let cfg = ServerlessConfig::grid_search(escra.then(EscraConfig::default), 100);
+        run_serverless(&cfg, &grid_search_task())
+    };
+    let vanilla = run(false);
+    let escra = run(true);
+
+    let mut table = Table::new(vec![
+        "t(s)",
+        "OW cpu(cores)",
+        "Escra cpu",
+        "cpu savings",
+        "OW mem(MiB)",
+        "Escra mem",
+        "mem savings",
+    ]);
+    let v_cpu = vanilla.metrics.cpu_limit_series.resample_secs(30);
+    let e_cpu = escra.metrics.cpu_limit_series.resample_secs(30);
+    let v_mem = vanilla.metrics.mem_limit_series.resample_secs(30);
+    let e_mem = escra.metrics.mem_limit_series.resample_secs(30);
+    for i in 0..v_cpu.len().min(e_cpu.len()) {
+        table.row(vec![
+            format!("{:.0}", v_cpu[i].0),
+            format!("{:.1}", v_cpu[i].1),
+            format!("{:.1}", e_cpu[i].1),
+            format!("{:.1}", v_cpu[i].1 - e_cpu[i].1),
+            format!("{:.0}", v_mem[i].1),
+            format!("{:.0}", e_mem[i].1),
+            format!("{:.0}", v_mem[i].1 - e_mem[i].1),
+        ]);
+    }
+    println!("Fig. 9 — GridSearch aggregate limits (30 s buckets over the job)");
+    println!("(paper: OpenWhisk 113 vCPU / 29 087 MiB vs Escra 53 vCPU / 22 264 MiB on");
+    println!(" average — ~60 vCPU and ~7 GiB saved)\n");
+    println!("{}", table.render());
+    println!(
+        "means: OW cpu {:.1} vs Escra {:.1} (saving {:.1} vCPU); OW mem {:.0} MiB vs Escra {:.0} (saving {:.0} MiB)",
+        vanilla.metrics.cpu_limit_series.mean(),
+        escra.metrics.cpu_limit_series.mean(),
+        vanilla.metrics.cpu_limit_series.mean() - escra.metrics.cpu_limit_series.mean(),
+        vanilla.metrics.mem_limit_series.mean(),
+        escra.metrics.mem_limit_series.mean(),
+        vanilla.metrics.mem_limit_series.mean() - escra.metrics.mem_limit_series.mean(),
+    );
+    println!(
+        "job latency: OW {:.0}s vs Escra {:.0}s",
+        vanilla.job_latency.expect("completes").as_secs_f64(),
+        escra.job_latency.expect("completes").as_secs_f64(),
+    );
+    let dump = (
+        vanilla.metrics.cpu_limit_series.resample_secs(1),
+        escra.metrics.cpu_limit_series.resample_secs(1),
+        vanilla.metrics.mem_limit_series.resample_secs(1),
+        escra.metrics.mem_limit_series.resample_secs(1),
+    );
+    let path = write_json("fig9_gridsearch_limits", &to_json(&dump));
+    println!("series written to {}", path.display());
+}

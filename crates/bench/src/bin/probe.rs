@@ -1,0 +1,42 @@
+//! Development probe: latency percentile breakdown for one cell.
+
+use escra_harness::{run, MicroSimConfig, Policy};
+use escra_simcore::time::SimDuration;
+use escra_workloads::{hipster_shop, WorkloadKind};
+
+fn main() {
+    for policy in [Policy::escra_default(), Policy::static_1_5x()] {
+        let cfg = MicroSimConfig::new(
+            hipster_shop(),
+            WorkloadKind::paper_fixed(),
+            policy.clone(),
+            20220701,
+        )
+        .with_duration(SimDuration::from_secs(60));
+        let out = run(&cfg);
+        let m = &out.metrics;
+        println!(
+            "{:<14} tput {:>6.1} p50 {:>6.0} p90 {:>6.0} p99 {:>6.0} p99.9 {:>6.0} max {:>7.0} fail {}",
+            m.policy,
+            m.throughput(),
+            m.latency.p(50.0),
+            m.latency.p(90.0),
+            m.latency.p(99.0),
+            m.latency.p(99.9),
+            m.latency.p(100.0),
+            m.latency.failures(),
+        );
+        println!(
+            "  cpu slack p50 {:.2} p90 {:.2} p99 {:.2} max {:.2}; mem p50 {:.0} p99 {:.0}",
+            m.slack.cpu_p(50.0),
+            m.slack.cpu_p(90.0),
+            m.slack.cpu_p(99.0),
+            m.slack.cpu_p(100.0),
+            m.slack.mem_p(50.0),
+            m.slack.mem_p(99.0),
+        );
+        if let Some(stats) = out.controller_stats {
+            println!("  controller: {stats:?}");
+        }
+    }
+}

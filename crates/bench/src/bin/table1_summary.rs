@@ -1,0 +1,80 @@
+//! Regenerates **Table I**: average performance increase and average
+//! slack reduction, Static-1.5× vs Escra and Autopilot vs Escra, over
+//! the 4 apps × 4 workloads matrix. Also prints the §VI-E OOM counts
+//! (Escra must be zero; baselines may OOM).
+
+use escra_bench::{run_matrix, write_json, RUN_SECS, SEED};
+use escra_metrics::{to_json, Comparison, Table};
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn main() {
+    let cells = run_matrix(RUN_SECS, SEED);
+
+    let mut per_cell = Table::new(vec![
+        "app", "workload", "policy", "tput(req/s)", "p99.9(ms)", "cpu p50 slack", "mem p50 slack(MiB)", "OOMs",
+    ]);
+    let mut static_cmps = Vec::new();
+    let mut autopilot_cmps = Vec::new();
+    let mut escra_ooms = 0;
+    let mut autopilot_ooms_max = 0;
+    for c in &cells {
+        for m in [&c.static_1_5, &c.autopilot, &c.escra] {
+            per_cell.row(vec![
+                c.app.into(),
+                c.workload.into(),
+                m.policy.clone(),
+                format!("{:.1}", m.throughput()),
+                format!("{:.0}", m.latency.p(99.9)),
+                format!("{:.2}", m.slack.cpu_p(50.0)),
+                format!("{:.0}", m.slack.mem_p(50.0)),
+                format!("{}", m.oom_kills),
+            ]);
+        }
+        static_cmps.push(Comparison::between(&c.static_1_5, &c.escra));
+        autopilot_cmps.push(Comparison::between(&c.autopilot, &c.escra));
+        escra_ooms += c.escra.oom_kills;
+        autopilot_ooms_max = autopilot_ooms_max.max(c.autopilot.oom_kills);
+    }
+    println!("Per-cell results ({} cells x 3 policies):\n", cells.len());
+    println!("{}", per_cell.render());
+
+    let summarize = |name: &str, cmps: &[Comparison]| -> Vec<String> {
+        vec![
+            name.into(),
+            format!("{:.1}%", mean(&cmps.iter().map(|c| c.latency_decrease_pct).collect::<Vec<_>>())),
+            format!("{:.1}%", mean(&cmps.iter().map(|c| c.throughput_increase_pct).collect::<Vec<_>>())),
+            format!("{:.1}%", mean(&cmps.iter().map(|c| c.cpu_slack_p50_reduction_pct).collect::<Vec<_>>())),
+            format!("{:.1}%", mean(&cmps.iter().map(|c| c.cpu_slack_p99_reduction_pct).collect::<Vec<_>>())),
+            format!("{:.1}%", mean(&cmps.iter().map(|c| c.mem_slack_p50_reduction_pct).collect::<Vec<_>>())),
+            format!("{:.1}%", mean(&cmps.iter().map(|c| c.mem_slack_p99_reduction_pct).collect::<Vec<_>>())),
+        ]
+    };
+    let mut table1 = Table::new(vec![
+        "comparison",
+        "avg dLat",
+        "avg dTput",
+        "d50% cpu slack",
+        "d99% cpu slack",
+        "d50% mem slack",
+        "d99% mem slack",
+    ]);
+    table1.row(summarize("Static vs. Escra", &static_cmps));
+    table1.row(summarize("Autopilot vs. Escra", &autopilot_cmps));
+    println!("TABLE I (paper: Static row = 38.0/25.4/81.3/74.2/55.0/95.9; Autopilot row = 36.1/54.5/78.3/78.6/26.7/68.9):\n");
+    println!("{}", table1.render());
+
+    println!("OOM counts (paper 6-E: Escra 0 in all 32 experiments; Autopilot up to 8 in one):");
+    println!("  escra total OOMs: {escra_ooms}");
+    println!("  autopilot max OOMs in one experiment: {autopilot_ooms_max}");
+
+    let dump: Vec<_> = static_cmps.iter().zip(autopilot_cmps.iter()).collect();
+    let path = write_json("table1", &to_json(&dump));
+    println!("\nraw comparisons written to {}", path.display());
+}

@@ -1,0 +1,143 @@
+//! # escra-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of
+//! the paper's evaluation. Each artifact has a dedicated binary (see the
+//! experiment index in `DESIGN.md`); this library holds the shared
+//! experiment-matrix runner so Figs. 4–6 and Table I reuse one set of
+//! runs.
+//!
+//! Run any artifact with, e.g.:
+//!
+//! ```text
+//! cargo run -p escra-bench --release --bin table1_summary
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use escra_harness::{profile_run, run_with_profiles, MicroSimConfig, Policy};
+use escra_metrics::RunMetrics;
+use escra_simcore::time::SimDuration;
+use escra_workloads::{
+    alibaba_workload, hipster_shop, media_microservice, teastore, train_ticket, MicroserviceApp,
+    WorkloadKind,
+};
+
+/// Default measured duration of one microservice run.
+pub const RUN_SECS: u64 = 60;
+/// Default master seed for the experiment matrix.
+pub const SEED: u64 = 20220701;
+
+/// The four paper workloads with their display names.
+pub fn paper_workloads() -> Vec<(&'static str, WorkloadKind)> {
+    vec![
+        ("alibaba", alibaba_workload(240)),
+        ("burst", WorkloadKind::paper_burst()),
+        ("exp", WorkloadKind::paper_exp()),
+        ("fixed", WorkloadKind::paper_fixed()),
+    ]
+}
+
+/// The four paper applications with their display names.
+pub fn paper_apps_named() -> Vec<(&'static str, MicroserviceApp)> {
+    vec![
+        ("MediaMicroservice", media_microservice()),
+        ("HipsterShop", hipster_shop()),
+        ("TrainTicket", train_ticket()),
+        ("Teastore", teastore()),
+    ]
+}
+
+/// Results of one (app, workload) cell under the three compared policies.
+#[derive(Debug)]
+pub struct CellResult {
+    /// Application display name.
+    pub app: &'static str,
+    /// Workload display name.
+    pub workload: &'static str,
+    /// Escra run.
+    pub escra: RunMetrics,
+    /// Static-1.5× run.
+    pub static_1_5: RunMetrics,
+    /// Autopilot (1 s best case) run.
+    pub autopilot: RunMetrics,
+}
+
+/// Runs one cell: a single profiling pre-run shared by the baselines,
+/// then one run per policy.
+pub fn run_cell(
+    app_name: &'static str,
+    app: &MicroserviceApp,
+    workload_name: &'static str,
+    workload: &WorkloadKind,
+    duration_secs: u64,
+    seed: u64,
+) -> CellResult {
+    let base = MicroSimConfig::new(
+        app.clone(),
+        workload.clone(),
+        Policy::static_1_5x(),
+        seed,
+    )
+    .with_duration(SimDuration::from_secs(duration_secs));
+    let profiles = profile_run(&base);
+
+    let run_policy = |policy: Policy| {
+        let cfg = MicroSimConfig {
+            policy,
+            ..base.clone()
+        };
+        run_with_profiles(&cfg, &profiles).metrics
+    };
+
+    CellResult {
+        app: app_name,
+        workload: workload_name,
+        escra: run_policy(Policy::escra_default()),
+        static_1_5: run_policy(Policy::static_1_5x()),
+        autopilot: run_policy(Policy::autopilot_default()),
+    }
+}
+
+/// Runs the full 4 × 4 matrix (the paper's 16 microservice cells ×
+/// 3 policies — its "all 32 experiments" are these runs for the two
+/// baseline comparisons).
+pub fn run_matrix(duration_secs: u64, seed: u64) -> Vec<CellResult> {
+    let mut out = Vec::new();
+    for (app_name, app) in paper_apps_named() {
+        for (wl_name, wl) in paper_workloads() {
+            eprintln!("running {app_name} x {wl_name} ...");
+            out.push(run_cell(app_name, &app, wl_name, &wl, duration_secs, seed));
+        }
+    }
+    out
+}
+
+/// Writes an artifact's JSON dump under `target/escra-results/`.
+pub fn write_json(name: &str, json: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("escra-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write results");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_and_app_lists_are_complete() {
+        assert_eq!(paper_workloads().len(), 4);
+        assert_eq!(paper_apps_named().len(), 4);
+    }
+
+    #[test]
+    fn one_small_cell_runs() {
+        let (name, app) = &paper_apps_named()[3]; // Teastore (smallest)
+        let cell = run_cell(name, app, "fixed", &WorkloadKind::Fixed { rps: 120.0 }, 10, 1);
+        assert!(cell.escra.latency.successes() > 800);
+        assert!(cell.static_1_5.latency.successes() > 800);
+        assert!(cell.autopilot.latency.successes() > 600);
+    }
+}

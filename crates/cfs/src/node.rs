@@ -1,0 +1,156 @@
+//! Node-level CPU arbitration.
+//!
+//! A worker node has a fixed number of cores; when the sum of cgroup
+//! demands exceeds node capacity, the real CFS scheduler divides CPU time
+//! with (weighted) max–min fairness. [`arbitrate`] reproduces that
+//! water-filling division so a container's *effective* CPU this period is
+//! `min(demand, quota grant, fair share of the node)`.
+
+/// Divides `capacity` among `demands` with max–min fairness (equal
+/// weights): every demand is satisfied up to the water level; leftover
+/// capacity from small demands raises the level for the rest.
+///
+/// Returns one grant per demand; grants never exceed the demand and their
+/// sum never exceeds `capacity` (within floating-point tolerance).
+///
+/// ```
+/// use escra_cfs::node::arbitrate;
+/// // 10 units among demands 2, 9, 9 -> 2 satisfied, rest split 4/4.
+/// let g = arbitrate(10.0, &[2.0, 9.0, 9.0]);
+/// assert_eq!(g, vec![2.0, 4.0, 4.0]);
+/// ```
+pub fn arbitrate(capacity: f64, demands: &[f64]) -> Vec<f64> {
+    assert!(capacity >= 0.0, "capacity must be non-negative");
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    debug_assert!(demands.iter().all(|d| *d >= 0.0 && d.is_finite()));
+    let total: f64 = demands.iter().sum();
+    if total <= capacity {
+        return demands.to_vec();
+    }
+    // Water-filling: process demands in ascending order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("NaN demand"));
+    let mut grants = vec![0.0; n];
+    let mut remaining_capacity = capacity;
+    let mut remaining = n;
+    for &i in &order {
+        let fair = remaining_capacity / remaining as f64;
+        let g = demands[i].min(fair);
+        grants[i] = g;
+        remaining_capacity -= g;
+        remaining -= 1;
+    }
+    grants
+}
+
+/// Weighted max–min fairness: like [`arbitrate`] but shares in proportion
+/// to positive `weights` (the CFS `cpu.shares` analogue).
+///
+/// # Panics
+///
+/// Panics if lengths differ or any weight is non-positive.
+pub fn arbitrate_weighted(capacity: f64, demands: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(demands.len(), weights.len(), "length mismatch");
+    assert!(
+        weights.iter().all(|w| *w > 0.0),
+        "weights must be positive"
+    );
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: f64 = demands.iter().sum();
+    if total <= capacity {
+        return demands.to_vec();
+    }
+    // Sort by demand-per-weight; fill proportionally to weight.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        (demands[a] / weights[a])
+            .partial_cmp(&(demands[b] / weights[b]))
+            .expect("NaN demand/weight")
+    });
+    let mut grants = vec![0.0; n];
+    let mut remaining_capacity = capacity;
+    let mut remaining_weight: f64 = weights.iter().sum();
+    for &i in &order {
+        let fair = remaining_capacity * weights[i] / remaining_weight;
+        let g = demands[i].min(fair);
+        grants[i] = g;
+        remaining_capacity -= g;
+        remaining_weight -= weights[i];
+    }
+    grants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn under_capacity_grants_all() {
+        let g = arbitrate(10.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(g, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_demands_split_evenly() {
+        let g = arbitrate(6.0, &[4.0, 4.0, 4.0]);
+        assert!(g.iter().all(|x| close(*x, 2.0)));
+    }
+
+    #[test]
+    fn small_demand_fully_satisfied() {
+        let g = arbitrate(10.0, &[1.0, 20.0]);
+        assert!(close(g[0], 1.0));
+        assert!(close(g[1], 9.0));
+    }
+
+    #[test]
+    fn conservation_and_bounds() {
+        let demands = [0.0, 5.0, 2.5, 8.0, 1.0, 9.0];
+        let g = arbitrate(7.0, &demands);
+        let total: f64 = g.iter().sum();
+        assert!(total <= 7.0 + 1e-9);
+        assert!(close(total, 7.0)); // work conserving when oversubscribed
+        for (gi, di) in g.iter().zip(demands.iter()) {
+            assert!(*gi <= di + 1e-9);
+            assert!(*gi >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert!(arbitrate(5.0, &[]).is_empty());
+        let g = arbitrate(0.0, &[1.0, 2.0]);
+        assert!(g.iter().all(|x| close(*x, 0.0)));
+    }
+
+    #[test]
+    fn weighted_respects_shares() {
+        // Equal infinite-ish demands, 2:1 weights -> 2:1 grants.
+        let g = arbitrate_weighted(9.0, &[100.0, 100.0], &[2.0, 1.0]);
+        assert!(close(g[0], 6.0));
+        assert!(close(g[1], 3.0));
+    }
+
+    #[test]
+    fn weighted_small_demand_released() {
+        let g = arbitrate_weighted(9.0, &[1.0, 100.0], &[2.0, 1.0]);
+        assert!(close(g[0], 1.0));
+        assert!(close(g[1], 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weighted_length_mismatch_panics() {
+        arbitrate_weighted(1.0, &[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,332 @@
+//! The cluster: nodes + containers + deployer + watcher feed.
+//!
+//! Stands in for Kubernetes as used by the paper: the Application
+//! Deployer creates containers, the Container Watcher observes creations
+//! (to register them with the Escra Controller), and kills/restarts are
+//! driven through the same object.
+
+use crate::container::{Container, ContainerSpec, ContainerState};
+use crate::ids::{ContainerId, NodeId};
+use crate::node::{Node, NodeSpec};
+use escra_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Placement strategy for new containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Placement {
+    /// Cycle through nodes in order (Kubernetes default-ish spreading).
+    #[default]
+    RoundRobin,
+    /// Place on the node with the fewest containers.
+    LeastLoaded,
+}
+
+/// Errors from cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The cluster has no nodes to place onto.
+    NoNodes,
+    /// Unknown container id.
+    UnknownContainer(ContainerId),
+}
+
+impl core::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterError::NoNodes => write!(f, "cluster has no worker nodes"),
+            ClusterError::UnknownContainer(id) => write!(f, "unknown container {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Lifecycle notifications consumed by watchers (the Escra Container
+/// Watcher subscribes to `Created` to register containers with the
+/// Controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerEvent {
+    /// A container was created and placed.
+    Created(ContainerId, NodeId),
+    /// A container was OOM-killed (and will restart).
+    OomKilled(ContainerId),
+    /// A container finished restarting and is running again.
+    Restarted(ContainerId),
+    /// A container was terminated permanently.
+    Terminated(ContainerId),
+}
+
+/// A simulated cluster of worker nodes and containers.
+///
+/// ```
+/// use escra_cluster::prelude::*;
+/// use escra_simcore::time::SimTime;
+///
+/// let mut cluster = Cluster::new(vec![NodeSpec { cores: 4, mem_bytes: 1 << 32 }]);
+/// let id = cluster
+///     .deploy(ContainerSpec::new("web", AppId::new(0)), SimTime::ZERO)
+///     .expect("deploy");
+/// assert_eq!(cluster.container(id).expect("exists").node(), NodeId::new(0));
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    containers: BTreeMap<ContainerId, Container>,
+    next_container: u64,
+    placement: Placement,
+    rr_cursor: usize,
+    events: Vec<(SimTime, ContainerEvent)>,
+    total_oom_kills: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster with one node per spec and round-robin placement.
+    pub fn new(node_specs: Vec<NodeSpec>) -> Self {
+        let nodes = node_specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Node::new(NodeId::new(i as u64), s))
+            .collect();
+        Cluster {
+            nodes,
+            containers: BTreeMap::new(),
+            next_container: 0,
+            placement: Placement::RoundRobin,
+            rr_cursor: 0,
+            events: Vec::new(),
+            total_oom_kills: 0,
+        }
+    }
+
+    /// Sets the placement strategy (builder style).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The worker nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.as_u64() as usize)
+    }
+
+    /// All containers (including starting/terminated), in id order.
+    pub fn containers(&self) -> impl Iterator<Item = &Container> {
+        self.containers.values()
+    }
+
+    /// Mutable iterator over containers, in id order.
+    pub fn containers_mut(&mut self) -> impl Iterator<Item = &mut Container> {
+        self.containers.values_mut()
+    }
+
+    /// A container by id.
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// A container by id, mutably.
+    pub fn container_mut(&mut self, id: ContainerId) -> Option<&mut Container> {
+        self.containers.get_mut(&id)
+    }
+
+    /// Number of containers ever deployed.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Total OOM kills across the cluster's lifetime (§VI-E reports these).
+    pub fn total_oom_kills(&self) -> u64 {
+        self.total_oom_kills
+    }
+
+    /// Deploys a container, choosing a node per the placement strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoNodes`] when the cluster is empty.
+    pub fn deploy(
+        &mut self,
+        spec: ContainerSpec,
+        now: SimTime,
+    ) -> Result<ContainerId, ClusterError> {
+        if self.nodes.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        let node_idx = match self.placement {
+            Placement::RoundRobin => {
+                let i = self.rr_cursor % self.nodes.len();
+                self.rr_cursor += 1;
+                i
+            }
+            Placement::LeastLoaded => self
+                .nodes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| n.container_count())
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+        };
+        let id = ContainerId::new(self.next_container);
+        self.next_container += 1;
+        let node_id = self.nodes[node_idx].id();
+        let container = Container::new(id, spec, node_id, now);
+        self.nodes[node_idx].place(id);
+        self.containers.insert(id, container);
+        self.events.push((now, ContainerEvent::Created(id, node_id)));
+        Ok(id)
+    }
+
+    /// OOM-kills a container (vanilla kernel behaviour when no Escra trap
+    /// intervenes). The container restarts after its spec's delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownContainer`] for unknown ids.
+    pub fn oom_kill(&mut self, id: ContainerId, now: SimTime) -> Result<(), ClusterError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownContainer(id))?;
+        c.oom_kill(now);
+        self.total_oom_kills += 1;
+        self.events.push((now, ContainerEvent::OomKilled(id)));
+        Ok(())
+    }
+
+    /// Terminates a container permanently and frees its node slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownContainer`] for unknown ids.
+    pub fn terminate(&mut self, id: ContainerId, now: SimTime) -> Result<(), ClusterError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownContainer(id))?;
+        let node = c.node();
+        c.terminate();
+        self.nodes[node.as_u64() as usize].evict(id);
+        self.events.push((now, ContainerEvent::Terminated(id)));
+        Ok(())
+    }
+
+    /// Advances all container lifecycles to `now` (promoting finished
+    /// restarts) and emits `Restarted` events for promotions.
+    pub fn tick(&mut self, now: SimTime) {
+        for c in self.containers.values_mut() {
+            let was_starting = matches!(c.state(), ContainerState::Starting { .. });
+            c.tick(now);
+            if was_starting && c.is_running() {
+                self.events.push((now, ContainerEvent::Restarted(c.id())));
+            }
+        }
+    }
+
+    /// Drains pending lifecycle events (the watcher feed).
+    pub fn drain_events(&mut self) -> Vec<(SimTime, ContainerEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Containers on `node` that are currently running.
+    pub fn running_on(&self, node: NodeId) -> Vec<ContainerId> {
+        self.nodes
+            .get(node.as_u64() as usize)
+            .map(|n| {
+                n.containers()
+                    .iter()
+                    .copied()
+                    .filter(|id| self.containers[id].is_running())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AppId;
+
+    fn small_cluster() -> Cluster {
+        Cluster::new(vec![
+            NodeSpec { cores: 4, mem_bytes: 8 << 30 },
+            NodeSpec { cores: 4, mem_bytes: 8 << 30 },
+        ])
+    }
+
+    fn spec(name: &str) -> ContainerSpec {
+        ContainerSpec::new(name, AppId::new(0))
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let mut cl = small_cluster();
+        let a = cl.deploy(spec("a"), SimTime::ZERO).unwrap();
+        let b = cl.deploy(spec("b"), SimTime::ZERO).unwrap();
+        let c = cl.deploy(spec("c"), SimTime::ZERO).unwrap();
+        assert_eq!(cl.container(a).unwrap().node(), NodeId::new(0));
+        assert_eq!(cl.container(b).unwrap().node(), NodeId::new(1));
+        assert_eq!(cl.container(c).unwrap().node(), NodeId::new(0));
+    }
+
+    #[test]
+    fn least_loaded_fills_gaps() {
+        let mut cl = small_cluster().with_placement(Placement::LeastLoaded);
+        let a = cl.deploy(spec("a"), SimTime::ZERO).unwrap();
+        let _b = cl.deploy(spec("b"), SimTime::ZERO).unwrap();
+        cl.terminate(a, SimTime::ZERO).unwrap();
+        let c = cl.deploy(spec("c"), SimTime::ZERO).unwrap();
+        assert_eq!(cl.container(c).unwrap().node(), NodeId::new(0));
+    }
+
+    #[test]
+    fn empty_cluster_errors() {
+        let mut cl = Cluster::new(vec![]);
+        assert_eq!(cl.deploy(spec("x"), SimTime::ZERO), Err(ClusterError::NoNodes));
+    }
+
+    #[test]
+    fn events_flow_through_watcher_feed() {
+        let mut cl = small_cluster();
+        let a = cl.deploy(spec("a"), SimTime::ZERO).unwrap();
+        cl.tick(SimTime::from_secs(3)); // past the 2s cold start
+        cl.oom_kill(a, SimTime::from_secs(4)).unwrap();
+        let events = cl.drain_events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0].1, ContainerEvent::Created(_, _)));
+        assert!(matches!(events[1].1, ContainerEvent::Restarted(_)));
+        assert!(matches!(events[2].1, ContainerEvent::OomKilled(_)));
+        assert!(cl.drain_events().is_empty());
+        assert_eq!(cl.total_oom_kills(), 1);
+    }
+
+    #[test]
+    fn unknown_container_errors() {
+        let mut cl = small_cluster();
+        let bogus = ContainerId::new(99);
+        assert_eq!(
+            cl.oom_kill(bogus, SimTime::ZERO),
+            Err(ClusterError::UnknownContainer(bogus))
+        );
+        let err = cl.terminate(bogus, SimTime::ZERO).unwrap_err();
+        assert_eq!(err.to_string(), "unknown container ctr-99");
+    }
+
+    #[test]
+    fn running_on_excludes_starting_and_terminated() {
+        let mut cl = small_cluster();
+        let a = cl.deploy(spec("a"), SimTime::ZERO).unwrap();
+        let _b = cl.deploy(spec("b"), SimTime::ZERO).unwrap(); // node 1
+        assert!(cl.running_on(NodeId::new(0)).is_empty()); // still starting
+        cl.tick(SimTime::from_secs(3));
+        assert_eq!(cl.running_on(NodeId::new(0)), vec![a]);
+        cl.terminate(a, SimTime::from_secs(4)).unwrap();
+        assert!(cl.running_on(NodeId::new(0)).is_empty());
+    }
+}

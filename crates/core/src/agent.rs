@@ -1,0 +1,223 @@
+//! The per-node Escra Agent (paper Fig. 1, ⑤).
+//!
+//! Like the kubelet, one Agent runs on every worker node. It applies
+//! resource updates sent by the Controller — dynamically, without
+//! container restarts — and executes the memory-reclamation sweep,
+//! reporting reclaimed bytes ψ per container.
+
+use crate::telemetry::ToAgent;
+use escra_cluster::{Cluster, ContainerId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Result of one reclamation sweep entry: the container's limit after the
+/// shrink and the bytes reclaimed (ψ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReclaimEntry {
+    /// The container that was shrunk.
+    pub container: ContainerId,
+    /// Its new memory limit.
+    pub new_limit_bytes: u64,
+    /// Bytes reclaimed from it (ψ).
+    pub psi_bytes: u64,
+}
+
+/// Outcome of applying a Controller command on the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentReport {
+    /// A limit update was applied (or ignored for an unknown/dead container).
+    Applied,
+    /// A reclamation sweep finished with these per-container results.
+    Reclaimed(Vec<ReclaimEntry>),
+}
+
+/// The per-node agent process.
+///
+/// The agent is stateless between commands; it owns no containers, only a
+/// node identity, and manipulates cgroups through the cluster — mirroring
+/// how the real agent issues the custom syscalls on its host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Agent {
+    node: NodeId,
+}
+
+impl Agent {
+    /// Creates the agent for `node`.
+    pub fn new(node: NodeId) -> Self {
+        Agent { node }
+    }
+
+    /// The node this agent manages.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Applies a Controller command to this node's containers.
+    ///
+    /// Commands addressed to containers that no longer exist are ignored
+    /// (they may have been terminated while the RPC was in flight).
+    pub fn apply(&self, cluster: &mut Cluster, cmd: ToAgent) -> AgentReport {
+        match cmd {
+            ToAgent::SetCpuQuota {
+                container,
+                quota_cores,
+            } => {
+                if let Some(c) = cluster.container_mut(container) {
+                    if c.node() == self.node {
+                        c.cpu.set_quota_cores(quota_cores);
+                    }
+                }
+                AgentReport::Applied
+            }
+            ToAgent::SetMemLimit {
+                container,
+                limit_bytes,
+            } => {
+                if let Some(c) = cluster.container_mut(container) {
+                    if c.node() == self.node {
+                        c.mem.set_limit_bytes(limit_bytes.max(1));
+                    }
+                }
+                AgentReport::Applied
+            }
+            ToAgent::ReclaimMemory { delta_bytes } => {
+                AgentReport::Reclaimed(self.reclaim_sweep(cluster, delta_bytes))
+            }
+        }
+    }
+
+    /// The reclamation sweep (paper §IV-C): for every container `C(i)` on
+    /// this node with `limit > usage + δ`, shrink the limit to
+    /// `usage + δ` and record ψ.
+    pub fn reclaim_sweep(&self, cluster: &mut Cluster, delta_bytes: u64) -> Vec<ReclaimEntry> {
+        let ids = cluster.running_on(self.node);
+        let mut out = Vec::new();
+        for id in ids {
+            if let Some(c) = cluster.container_mut(id) {
+                let usage = c.mem.usage_bytes();
+                let limit = c.mem.limit_bytes();
+                if limit > usage + delta_bytes {
+                    let psi = c.mem.shrink_to(usage + delta_bytes);
+                    if psi > 0 {
+                        out.push(ReclaimEntry {
+                            container: id,
+                            new_limit_bytes: c.mem.limit_bytes(),
+                            psi_bytes: psi,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escra_cfs::MIB;
+    use escra_cluster::{AppId, ContainerSpec, NodeSpec};
+    use escra_simcore::time::SimTime;
+
+    fn cluster_with_two() -> (Cluster, ContainerId, ContainerId) {
+        let mut cl = Cluster::new(vec![NodeSpec {
+            cores: 8,
+            mem_bytes: 16 << 30,
+        }]);
+        let spec = |n: &str| {
+            ContainerSpec::new(n, AppId::new(0))
+                .with_mem_limit(256 * MIB)
+                .with_base_mem(64 * MIB)
+        };
+        let a = cl.deploy(spec("a"), SimTime::ZERO).unwrap();
+        let b = cl.deploy(spec("b"), SimTime::ZERO).unwrap();
+        cl.tick(SimTime::from_secs(3));
+        (cl, a, b)
+    }
+
+    #[test]
+    fn sets_cpu_quota_without_restart() {
+        let (mut cl, a, _) = cluster_with_two();
+        let agent = Agent::new(NodeId::new(0));
+        let report = agent.apply(
+            &mut cl,
+            ToAgent::SetCpuQuota {
+                container: a,
+                quota_cores: 3.5,
+            },
+        );
+        assert_eq!(report, AgentReport::Applied);
+        assert_eq!(cl.container(a).unwrap().cpu.quota_cores(), 3.5);
+        assert!(cl.container(a).unwrap().is_running()); // no restart
+    }
+
+    #[test]
+    fn ignores_other_nodes_containers() {
+        let mut cl = Cluster::new(vec![
+            NodeSpec { cores: 4, mem_bytes: 8 << 30 },
+            NodeSpec { cores: 4, mem_bytes: 8 << 30 },
+        ]);
+        let a = cl
+            .deploy(ContainerSpec::new("a", AppId::new(0)), SimTime::ZERO)
+            .unwrap(); // node 0
+        let wrong_agent = Agent::new(NodeId::new(1));
+        wrong_agent.apply(
+            &mut cl,
+            ToAgent::SetCpuQuota {
+                container: a,
+                quota_cores: 9.0,
+            },
+        );
+        assert_eq!(cl.container(a).unwrap().cpu.quota_cores(), 1.0);
+    }
+
+    #[test]
+    fn reclaim_sweep_honours_delta() {
+        let (mut cl, a, b) = cluster_with_two();
+        // a: usage 64 MiB, limit 256 -> shrink to 64+50=114, ψ=142.
+        // b: bump usage to 240 -> 240+50 > 256, untouched.
+        cl.container_mut(b).unwrap().mem.try_charge(176 * MIB);
+        let agent = Agent::new(NodeId::new(0));
+        let report = agent.apply(
+            &mut cl,
+            ToAgent::ReclaimMemory {
+                delta_bytes: 50 * MIB,
+            },
+        );
+        match report {
+            AgentReport::Reclaimed(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].container, a);
+                assert_eq!(entries[0].new_limit_bytes, 114 * MIB);
+                assert_eq!(entries[0].psi_bytes, 142 * MIB);
+            }
+            other => panic!("expected reclaim report, got {other:?}"),
+        }
+        assert_eq!(cl.container(b).unwrap().mem.limit_bytes(), 256 * MIB);
+    }
+
+    #[test]
+    fn reclaim_skips_starting_containers() {
+        let mut cl = Cluster::new(vec![NodeSpec { cores: 4, mem_bytes: 8 << 30 }]);
+        let _a = cl
+            .deploy(ContainerSpec::new("a", AppId::new(0)), SimTime::ZERO)
+            .unwrap();
+        // No tick: container still cold-starting.
+        let agent = Agent::new(NodeId::new(0));
+        let entries = agent.reclaim_sweep(&mut cl, 0);
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn unknown_container_update_is_ignored() {
+        let (mut cl, _, _) = cluster_with_two();
+        let agent = Agent::new(NodeId::new(0));
+        let report = agent.apply(
+            &mut cl,
+            ToAgent::SetMemLimit {
+                container: ContainerId::new(999),
+                limit_bytes: MIB,
+            },
+        );
+        assert_eq!(report, AgentReport::Applied);
+    }
+}

@@ -1,0 +1,467 @@
+//! The Escra Controller (paper §IV-C).
+//!
+//! The Controller "brings all of the system components together": it
+//! registers containers into the per-application pool, forwards telemetry
+//! and OOM events to the Resource Allocator, carries out the Allocator's
+//! decisions as Agent commands, and launches the periodic reclamation
+//! loop. It makes no allocation decisions itself.
+//!
+//! The Controller is driven by the embedding simulation: `handle` for
+//! each arriving message, `tick` at each time step, and
+//! `on_reclaim_report` when an Agent finishes a sweep. All outputs are
+//! [`Action`] values the embedding applies (with control-plane latency).
+
+use crate::agent::ReclaimEntry;
+use crate::allocator::{AllocatorError, CpuDecision, OomDecision, ResourceAllocator};
+use crate::config::EscraConfig;
+use crate::telemetry::{ToAgent, ToController};
+use escra_cluster::{AppId, ContainerId, NodeId};
+use escra_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An effect the Controller wants carried out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Send a command to the Agent on `node`.
+    Agent {
+        /// Target node.
+        node: NodeId,
+        /// The command.
+        cmd: ToAgent,
+    },
+    /// Let the OS OOM-kill this container (no memory could be found).
+    KillContainer(ContainerId),
+}
+
+/// Lifetime counters for the overhead analysis (§VI-I) and the OOM
+/// comparison (§VI-E).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Telemetry messages ingested.
+    pub cpu_stats_ingested: u64,
+    /// Quota updates issued.
+    pub quota_updates: u64,
+    /// Quota updates that were scale-ups (throttle reactions).
+    pub scale_ups: u64,
+    /// Quota updates that were scale-downs (slack reclaim).
+    pub scale_downs: u64,
+    /// Memory-limit updates issued (OOM grants).
+    pub mem_grants: u64,
+    /// OOM events that were absorbed (container survived).
+    pub ooms_absorbed: u64,
+    /// OOM events that ended in a kill.
+    pub ooms_fatal: u64,
+    /// Reclamation sweeps launched.
+    pub reclaim_sweeps: u64,
+    /// Total ψ bytes returned by sweeps.
+    pub reclaimed_bytes: u64,
+}
+
+/// The logically centralized Escra Controller.
+#[derive(Debug)]
+pub struct Controller {
+    allocator: ResourceAllocator,
+    nodes: BTreeSet<NodeId>,
+    next_reclaim_at: SimTime,
+    /// OOMs waiting for a reclamation sweep to finish.
+    pending_ooms: Vec<(ContainerId, u64)>,
+    stats: ControllerStats,
+}
+
+impl Controller {
+    /// Creates a Controller (and its embedded Resource Allocator).
+    pub fn new(cfg: EscraConfig) -> Self {
+        let first_reclaim = SimTime::ZERO + cfg.reclaim_interval;
+        Controller {
+            allocator: ResourceAllocator::new(cfg),
+            nodes: BTreeSet::new(),
+            next_reclaim_at: first_reclaim,
+            pending_ooms: Vec::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Read access to the embedded allocator (pools, quotas).
+    pub fn allocator(&self) -> &ResourceAllocator {
+        &self.allocator
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Registers an application's global limits (sent by the Deployer
+    /// before any container deploys).
+    pub fn register_app(&mut self, app: AppId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
+        self.allocator.register_app(app, cpu_limit_cores, mem_limit_bytes);
+    }
+
+    /// Registers a container with initial limits; returns the Agent
+    /// commands that bootstrap its cgroups to the granted values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocatorError`] for unknown apps / duplicate ids.
+    pub fn register_container(
+        &mut self,
+        container: ContainerId,
+        app: AppId,
+        node: NodeId,
+        initial_cpu_cores: f64,
+        initial_mem_bytes: u64,
+    ) -> Result<Vec<Action>, AllocatorError> {
+        self.nodes.insert(node);
+        let (cpu, mem) =
+            self.allocator
+                .register_container(container, app, node, initial_cpu_cores, initial_mem_bytes)?;
+        Ok(vec![
+            Action::Agent {
+                node,
+                cmd: ToAgent::SetCpuQuota {
+                    container,
+                    quota_cores: cpu,
+                },
+            },
+            Action::Agent {
+                node,
+                cmd: ToAgent::SetMemLimit {
+                    container,
+                    limit_bytes: mem,
+                },
+            },
+        ])
+    }
+
+    /// Deregisters a container (terminated pod), returning its resources
+    /// to the application pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocatorError::UnknownContainer`].
+    pub fn deregister_container(&mut self, container: ContainerId) -> Result<(), AllocatorError> {
+        self.pending_ooms.retain(|(c, _)| *c != container);
+        self.allocator.deregister_container(container)
+    }
+
+    /// Handles one inbound message and returns the actions to carry out.
+    ///
+    /// Unknown containers are ignored (they may have deregistered while
+    /// the message was in flight) — the Controller must not crash on
+    /// stale telemetry.
+    pub fn handle(&mut self, _now: SimTime, msg: ToController) -> Vec<Action> {
+        match msg {
+            ToController::Register {
+                container,
+                app,
+                node,
+            } => {
+                // Registration without explicit limits: bootstrap from the
+                // pool evenly (runtime-created pods carry their own spec
+                // through `register_container` instead).
+                self.register_container(container, app, node, 1.0, 256 * escra_cfs::MIB)
+                    .unwrap_or_default()
+            }
+            ToController::CpuStats { container, stats } => {
+                self.stats.cpu_stats_ingested += 1;
+                match self.allocator.on_cpu_stats(container, stats) {
+                    Ok(decision @ (CpuDecision::ScaleUp { .. } | CpuDecision::ScaleDown { .. })) => {
+                        let new_quota_cores = match decision {
+                            CpuDecision::ScaleUp { new_quota_cores } => {
+                                self.stats.scale_ups += 1;
+                                new_quota_cores
+                            }
+                            CpuDecision::ScaleDown { new_quota_cores } => {
+                                self.stats.scale_downs += 1;
+                                new_quota_cores
+                            }
+                            CpuDecision::Hold => unreachable!(),
+                        };
+                        self.stats.quota_updates += 1;
+                        match self.allocator.node_of(container) {
+                            Some(node) => vec![Action::Agent {
+                                node,
+                                cmd: ToAgent::SetCpuQuota {
+                                    container,
+                                    quota_cores: new_quota_cores,
+                                },
+                            }],
+                            None => Vec::new(),
+                        }
+                    }
+                    Ok(CpuDecision::Hold) | Err(_) => Vec::new(),
+                }
+            }
+            ToController::OomEvent {
+                container,
+                shortfall_bytes,
+            } => match self.allocator.on_oom(container, shortfall_bytes) {
+                Ok(OomDecision::Grant { new_limit_bytes }) => {
+                    self.stats.mem_grants += 1;
+                    self.stats.ooms_absorbed += 1;
+                    match self.allocator.node_of(container) {
+                        Some(node) => vec![Action::Agent {
+                            node,
+                            cmd: ToAgent::SetMemLimit {
+                                container,
+                                limit_bytes: new_limit_bytes,
+                            },
+                        }],
+                        None => Vec::new(),
+                    }
+                }
+                Ok(OomDecision::NeedReclaim) => {
+                    self.pending_ooms.push((container, shortfall_bytes));
+                    self.launch_reclaim()
+                }
+                Ok(OomDecision::Kill) | Err(_) => Vec::new(),
+            },
+        }
+    }
+
+    /// Periodic work: launches the proactive reclamation loop every
+    /// `reclaim_interval` (paper: 5 s).
+    pub fn tick(&mut self, now: SimTime) -> Vec<Action> {
+        if now >= self.next_reclaim_at {
+            self.next_reclaim_at = now + self.allocator.config().reclaim_interval;
+            self.launch_reclaim()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn launch_reclaim(&mut self) -> Vec<Action> {
+        self.stats.reclaim_sweeps += 1;
+        let delta = self.allocator.config().delta_bytes;
+        self.nodes
+            .iter()
+            .map(|node| Action::Agent {
+                node: *node,
+                cmd: ToAgent::ReclaimMemory { delta_bytes: delta },
+            })
+            .collect()
+    }
+
+    /// Ingests an Agent's reclamation report: credits ψ back to the pools
+    /// and retries any pending OOMs (grant or kill).
+    pub fn on_reclaim_report(
+        &mut self,
+        _now: SimTime,
+        entries: &[ReclaimEntry],
+    ) -> Vec<Action> {
+        for e in entries {
+            if let Ok(psi) = self.allocator.apply_reclaim(e.container, e.new_limit_bytes) {
+                self.stats.reclaimed_bytes += psi;
+            }
+        }
+        let pending = std::mem::take(&mut self.pending_ooms);
+        let mut actions = Vec::new();
+        for (container, shortfall) in pending {
+            match self.allocator.retry_oom_after_reclaim(container, shortfall) {
+                Ok(OomDecision::Grant { new_limit_bytes }) => {
+                    self.stats.mem_grants += 1;
+                    self.stats.ooms_absorbed += 1;
+                    if let Some(node) = self.allocator.node_of(container) {
+                        actions.push(Action::Agent {
+                            node,
+                            cmd: ToAgent::SetMemLimit {
+                                container,
+                                limit_bytes: new_limit_bytes,
+                            },
+                        });
+                    }
+                }
+                Ok(OomDecision::Kill) => {
+                    self.stats.ooms_fatal += 1;
+                    actions.push(Action::KillContainer(container));
+                }
+                Ok(OomDecision::NeedReclaim) | Err(_) => {
+                    // Cannot happen from retry, but stay safe: kill.
+                    self.stats.ooms_fatal += 1;
+                    actions.push(Action::KillContainer(container));
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escra_cfs::{CpuPeriodStats, MIB};
+
+    const APP: AppId = AppId::new(0);
+    const C0: ContainerId = ContainerId::new(0);
+    const N0: NodeId = NodeId::new(0);
+
+    fn controller_with_one() -> Controller {
+        let mut c = Controller::new(EscraConfig::default());
+        c.register_app(APP, 8.0, 1024 * MIB);
+        let actions = c.register_container(C0, APP, N0, 2.0, 256 * MIB).unwrap();
+        assert_eq!(actions.len(), 2);
+        c
+    }
+
+    fn throttled_stats(quota: f64) -> CpuPeriodStats {
+        CpuPeriodStats {
+            quota_cores: quota,
+            usage_us: quota * 100_000.0,
+            unused_runtime_us: 0.0,
+            throttled: true,
+        }
+    }
+
+    #[test]
+    fn telemetry_drives_quota_update_action() {
+        let mut c = controller_with_one();
+        let actions = c.handle(
+            SimTime::ZERO,
+            ToController::CpuStats {
+                container: C0,
+                stats: throttled_stats(2.0),
+            },
+        );
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            Action::Agent {
+                node,
+                cmd: ToAgent::SetCpuQuota { container, quota_cores },
+            } => {
+                assert_eq!(node, N0);
+                assert_eq!(container, C0);
+                assert!(quota_cores > 2.0);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(c.stats().quota_updates, 1);
+        assert_eq!(c.stats().cpu_stats_ingested, 1);
+    }
+
+    #[test]
+    fn oom_grant_action() {
+        let mut c = controller_with_one();
+        let actions = c.handle(
+            SimTime::ZERO,
+            ToController::OomEvent {
+                container: C0,
+                shortfall_bytes: MIB,
+            },
+        );
+        assert!(matches!(
+            actions[0],
+            Action::Agent {
+                cmd: ToAgent::SetMemLimit { .. },
+                ..
+            }
+        ));
+        assert_eq!(c.stats().ooms_absorbed, 1);
+        assert_eq!(c.stats().ooms_fatal, 0);
+    }
+
+    #[test]
+    fn oom_with_exhausted_pool_triggers_reclaim_then_kill() {
+        let mut c = Controller::new(EscraConfig::default());
+        c.register_app(APP, 2.0, 256 * MIB);
+        c.register_container(C0, APP, N0, 1.0, 256 * MIB).unwrap();
+        let actions = c.handle(
+            SimTime::ZERO,
+            ToController::OomEvent {
+                container: C0,
+                shortfall_bytes: 64 * MIB,
+            },
+        );
+        // Pool empty -> reclamation sweep to the (single) node.
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            Action::Agent {
+                cmd: ToAgent::ReclaimMemory { .. },
+                ..
+            }
+        ));
+        // Sweep found nothing -> kill.
+        let actions = c.on_reclaim_report(SimTime::ZERO, &[]);
+        assert_eq!(actions, vec![Action::KillContainer(C0)]);
+        assert_eq!(c.stats().ooms_fatal, 1);
+    }
+
+    #[test]
+    fn oom_survives_via_reclaim() {
+        let mut c = Controller::new(EscraConfig::default());
+        c.register_app(APP, 2.0, 512 * MIB);
+        c.register_container(C0, APP, N0, 1.0, 256 * MIB).unwrap();
+        let c1 = ContainerId::new(1);
+        c.register_container(c1, APP, N0, 1.0, 256 * MIB).unwrap();
+        c.handle(
+            SimTime::ZERO,
+            ToController::OomEvent {
+                container: C0,
+                shortfall_bytes: 16 * MIB,
+            },
+        );
+        // Agent reclaimed 100 MiB from c1.
+        let actions = c.on_reclaim_report(
+            SimTime::ZERO,
+            &[ReclaimEntry {
+                container: c1,
+                new_limit_bytes: 156 * MIB,
+                psi_bytes: 100 * MIB,
+            }],
+        );
+        assert!(matches!(
+            actions[0],
+            Action::Agent {
+                cmd: ToAgent::SetMemLimit { container, .. },
+                ..
+            } if container == C0
+        ));
+        assert_eq!(c.stats().reclaimed_bytes, 100 * MIB);
+        assert_eq!(c.stats().ooms_absorbed, 1);
+    }
+
+    #[test]
+    fn periodic_reclaim_fires_on_interval() {
+        let mut c = controller_with_one();
+        assert!(c.tick(SimTime::from_secs(4)).is_empty());
+        let actions = c.tick(SimTime::from_secs(5));
+        assert_eq!(actions.len(), 1); // one node
+        assert!(c.tick(SimTime::from_secs(6)).is_empty());
+        let actions = c.tick(SimTime::from_secs(10));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(c.stats().reclaim_sweeps, 2);
+    }
+
+    #[test]
+    fn stale_telemetry_is_ignored() {
+        let mut c = controller_with_one();
+        let ghost = ContainerId::new(42);
+        let actions = c.handle(
+            SimTime::ZERO,
+            ToController::CpuStats {
+                container: ghost,
+                stats: throttled_stats(1.0),
+            },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn deregister_cancels_pending_oom() {
+        let mut c = Controller::new(EscraConfig::default());
+        c.register_app(APP, 2.0, 256 * MIB);
+        c.register_container(C0, APP, N0, 1.0, 256 * MIB).unwrap();
+        c.handle(
+            SimTime::ZERO,
+            ToController::OomEvent {
+                container: C0,
+                shortfall_bytes: MIB,
+            },
+        );
+        c.deregister_container(C0).unwrap();
+        // Pending OOM was dropped with the container; report is a no-op.
+        let actions = c.on_reclaim_report(SimTime::ZERO, &[]);
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! # escra-core
+//!
+//! The Escra system itself — the primary contribution of *"Escra:
+//! Event-driven, Sub-second Container Resource Allocation"* (ICDCS 2022)
+//! — implemented against the simulated substrates in `escra-cfs`,
+//! `escra-net`, and `escra-cluster`:
+//!
+//! * [`config`] — the tunables Υ, γ, κ, δ, σ, window length, report
+//!   period, with the paper's evaluation defaults;
+//! * [`distributed_container`] — the Distributed Container abstraction:
+//!   per-application aggregate CPU/memory limits enforced continuously at
+//!   runtime (unlike admission-time Resource Quotas);
+//! * [`allocator`] — the Resource Allocator: windowed throttle/unused
+//!   statistics and the scale-up / scale-down / OOM decision rules of
+//!   §IV-D;
+//! * [`controller`] — the logically centralized Controller of §IV-C:
+//!   registration, telemetry fan-in, decision fan-out, the 5-second
+//!   proactive reclamation loop, and the reclaim-then-grant-or-kill OOM
+//!   path;
+//! * [`agent`] — the per-node Agent applying limit updates without
+//!   restarts and running reclamation sweeps (reporting ψ);
+//! * [`deployer`] — the Application Deployer with the paper's
+//!   initial-limit formulas (eqs. 1–2);
+//! * [`watcher`] — the Container Watcher keeping the Controller's
+//!   registry in sync with runtime container creation/teardown;
+//! * [`telemetry`] — control-plane message types and wire sizes for the
+//!   §VI-I network-overhead accounting.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use escra_core::prelude::*;
+//! use escra_cluster::prelude::*;
+//! use escra_simcore::time::SimTime;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = EscraConfig::default();
+//! let mut cluster = Cluster::new(vec![NodeSpec { cores: 16, mem_bytes: 32 << 30 }]);
+//! let mut controller = Controller::new(cfg.clone());
+//! let app = AppConfig {
+//!     app: AppId::new(0),
+//!     name: "demo".into(),
+//!     global_cpu_cores: 8.0,
+//!     global_mem_bytes: 2 << 30,
+//!     containers: vec![
+//!         ContainerSpec::new("web", AppId::new(0)),
+//!         ContainerSpec::new("db", AppId::new(0)),
+//!     ],
+//! };
+//! let (ids, actions) = deploy_app(&cfg, &app, &mut cluster, &mut controller, SimTime::ZERO)?;
+//! assert_eq!(ids.len(), 2);
+//! assert!(!actions.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agent;
+pub mod allocator;
+pub mod config;
+pub mod controller;
+pub mod deployer;
+pub mod distributed_container;
+pub mod telemetry;
+pub mod watcher;
+
+pub use agent::{Agent, AgentReport, ReclaimEntry};
+pub use allocator::{AllocatorError, CpuDecision, OomDecision, ResourceAllocator};
+pub use config::EscraConfig;
+pub use controller::{Action, Controller, ControllerStats};
+pub use deployer::{deploy_app, initial_cpu_limit, initial_mem_limit, AppConfig};
+pub use distributed_container::DistributedContainer;
+pub use telemetry::{ToAgent, ToController};
+pub use watcher::ContainerWatcher;
+
+/// Convenient re-exports of the most used types.
+pub mod prelude {
+    pub use crate::agent::{Agent, AgentReport, ReclaimEntry};
+    pub use crate::allocator::{CpuDecision, OomDecision, ResourceAllocator};
+    pub use crate::config::EscraConfig;
+    pub use crate::controller::{Action, Controller};
+    pub use crate::deployer::{deploy_app, AppConfig};
+    pub use crate::distributed_container::DistributedContainer;
+    pub use crate::telemetry::{ToAgent, ToController};
+}

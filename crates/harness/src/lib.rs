@@ -1,0 +1,25 @@
+//! # escra-harness
+//!
+//! The experiment runner tying cluster, policies, and workloads into the
+//! paper's experiments:
+//!
+//! * [`queueing`] — fluid FIFO queue draining (throttling → latency);
+//! * [`policy`] — the policies under test (Escra / Static / Autopilot /
+//!   VPA);
+//! * [`microsim`] — the microservice experiment loop (Figs. 4–6,
+//!   Table I, §VI-I overheads);
+//! * [`serverless_sim`] — the OpenWhisk-style invoker loop
+//!   (Figs. 7–9);
+//! * [`tracking`] — the Fig. 2 single-container CPU-tracking experiment.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod microsim;
+pub mod policy;
+pub mod queueing;
+pub mod serverless_sim;
+pub mod tracking;
+
+pub use microsim::{profile_run, run, run_with_profiles, MicroSimConfig, MicroSimOutput};
+pub use policy::Policy;

@@ -1,0 +1,74 @@
+//! The policies an experiment can run under.
+
+use escra_baselines::{AutopilotConfig, VpaConfig};
+use escra_core::EscraConfig;
+
+/// Which allocation policy manages the containers during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// Escra: event-driven, per-period allocation (the paper's system).
+    Escra(EscraConfig),
+    /// Static limits at `factor ×` the profiled peak (common practice).
+    Static {
+        /// The provisioning factor (paper uses 0.75 / 1.0 / 1.5).
+        factor: f64,
+    },
+    /// The Autopilot recreation (state of the art baseline).
+    Autopilot(AutopilotConfig),
+    /// A VPA-style threshold autoscaler with restart semantics.
+    Vpa(VpaConfig),
+}
+
+impl Policy {
+    /// The paper's default Escra configuration.
+    pub fn escra_default() -> Self {
+        Policy::Escra(EscraConfig::default())
+    }
+
+    /// The paper's comparison point: static 1.5× peak.
+    pub fn static_1_5x() -> Self {
+        Policy::Static { factor: 1.5 }
+    }
+
+    /// Autopilot at its best-case 1-second update period.
+    pub fn autopilot_default() -> Self {
+        Policy::Autopilot(AutopilotConfig::default())
+    }
+
+    /// Short name used in reports ("escra", "static-1.5x", ...).
+    pub fn name(&self) -> String {
+        match self {
+            Policy::Escra(_) => "escra".into(),
+            Policy::Static { factor } => format!("static-{factor}x"),
+            Policy::Autopilot(c) => {
+                format!("autopilot-{}s", c.update_period.as_millis() as f64 / 1000.0)
+            }
+            Policy::Vpa(_) => "vpa".into(),
+        }
+    }
+
+    /// Whether this policy needs a profiling pre-run to seed limits.
+    pub fn needs_profile(&self) -> bool {
+        matches!(self, Policy::Static { .. } | Policy::Autopilot(_) | Policy::Vpa(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Policy::escra_default().name(), "escra");
+        assert_eq!(Policy::static_1_5x().name(), "static-1.5x");
+        assert_eq!(Policy::autopilot_default().name(), "autopilot-1s");
+        assert_eq!(Policy::Vpa(VpaConfig::default()).name(), "vpa");
+    }
+
+    #[test]
+    fn profile_requirements() {
+        assert!(!Policy::escra_default().needs_profile());
+        assert!(Policy::static_1_5x().needs_profile());
+        assert!(Policy::autopilot_default().needs_profile());
+    }
+}

@@ -1,0 +1,19 @@
+//! # escra-metrics
+//!
+//! Measurement and reporting for the Escra reproduction:
+//!
+//! * [`recorders`] — the paper's metrics (§VI-A): 99.9 %-ile end-to-end
+//!   latency, throughput in successful req/s, absolute CPU/memory slack
+//!   distributions, aggregate-limit time series, and the Table I / Fig. 4
+//!   [`recorders::Comparison`] between a baseline and Escra;
+//! * [`report`] — aligned text tables, CDF dumps and JSON export used by
+//!   every figure/table binary in `escra-bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod recorders;
+pub mod report;
+
+pub use recorders::{Comparison, LatencyRecorder, RunMetrics, SlackRecorder};
+pub use report::{cdf_lines, downsample_cdf, to_json, Table};

@@ -1,0 +1,171 @@
+//! Plain-text tables and JSON export for the benchmark harness output.
+
+use serde::Serialize;
+
+/// A simple aligned text table, used by every figure/table binary to
+/// print the paper's rows.
+///
+/// ```
+/// use escra_metrics::report::Table;
+/// let mut t = Table::new(vec!["app", "Δ latency %"]);
+/// t.row(vec!["teastore".into(), format!("{:.1}", 25.7)]);
+/// let s = t.render();
+/// assert!(s.contains("teastore"));
+/// assert!(s.contains("25.7"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Serializes any experiment result to pretty JSON (for re-plotting).
+///
+/// # Panics
+///
+/// Panics if the value cannot be serialized (never the case for the
+/// workspace's result types).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("result types are serializable")
+}
+
+/// Formats a CDF as `value fraction` lines for plotting tools.
+pub fn cdf_lines(cdf: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    for (v, f) in cdf {
+        out.push_str(&format!("{v:.6} {f:.6}\n"));
+    }
+    out
+}
+
+/// Downsamples a CDF to at most `max_points` points (keeps endpoints).
+pub fn downsample_cdf(cdf: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
+    assert!(max_points >= 2, "need at least two points");
+    if cdf.len() <= max_points {
+        return cdf.to_vec();
+    }
+    let stride = (cdf.len() - 1) as f64 / (max_points - 1) as f64;
+    (0..max_points)
+        .map(|i| cdf[(i as f64 * stride).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxxxx"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = vec![(1.0f64, 2.0f64)];
+        let s = to_json(&v);
+        assert!(s.contains("1.0"));
+    }
+
+    #[test]
+    fn cdf_lines_format() {
+        let s = cdf_lines(&[(1.0, 0.5), (2.0, 1.0)]);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.starts_with("1.000000 0.500000"));
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let cdf: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, i as f64 / 999.0)).collect();
+        let d = downsample_cdf(&cdf, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0], cdf[0]);
+        assert_eq!(d[9], cdf[999]);
+    }
+
+    #[test]
+    fn downsample_short_is_identity() {
+        let cdf = vec![(1.0, 1.0)];
+        assert_eq!(downsample_cdf(&cdf, 5), cdf);
+    }
+}

@@ -1,0 +1,250 @@
+//! The message fabric: endpoints, latency, in-order delivery.
+
+use crate::accounting::BandwidthAccountant;
+use escra_simcore::events::EventQueue;
+use escra_simcore::rng::SimRng;
+use escra_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An opaque endpoint address on the simulated control-plane network.
+///
+/// Addresses are handed out by [`Network::register`]; higher layers map
+/// them to the Controller, per-node Agents, and per-container kernel
+/// sockets.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Raw numeric form, useful as a map key or RNG stream label.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-way delivery latency: a fixed base plus uniform jitter in
+/// `[0, jitter]`.
+///
+/// Defaults model a single-datacenter control plane: 250 µs base,
+/// 100 µs jitter — consistent with the paper's claim that limits are
+/// applied "on the order of 100s of microseconds".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed one-way delay component.
+    pub base: SimDuration,
+    /// Upper bound of the uniform jitter added to `base`.
+    pub jitter: SimDuration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base: SimDuration::from_micros(250),
+            jitter: SimDuration::from_micros(100),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A zero-latency model (useful in unit tests).
+    pub fn zero() -> Self {
+        LatencyModel {
+            base: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Samples one one-way delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        if self.jitter.is_zero() {
+            self.base
+        } else {
+            self.base + SimDuration::from_micros(rng.next_below(self.jitter.as_micros() + 1))
+        }
+    }
+}
+
+/// An in-flight message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Sender address.
+    pub from: Addr,
+    /// Recipient address.
+    pub to: Addr,
+    /// The payload.
+    pub message: M,
+}
+
+/// A simulated control-plane network, generic over the message type.
+///
+/// Messages are delayed by the [`LatencyModel`], delivered in
+/// deterministic (time, FIFO) order, and have their wire size charged to
+/// a [`BandwidthAccountant`].
+///
+/// ```
+/// use escra_net::{LatencyModel, Network};
+/// use escra_simcore::time::SimTime;
+///
+/// let mut net: Network<&str> = Network::new(LatencyModel::default(), 42);
+/// let a = net.register();
+/// let b = net.register();
+/// net.send(SimTime::ZERO, a, b, "hello", 64);
+/// let delivered = net.poll(SimTime::from_millis(1));
+/// assert_eq!(delivered.len(), 1);
+/// assert_eq!(delivered[0].1.message, "hello");
+/// ```
+#[derive(Debug)]
+pub struct Network<M> {
+    latency: LatencyModel,
+    rng: SimRng,
+    queue: EventQueue<Delivery<M>>,
+    next_addr: u64,
+    accountant: BandwidthAccountant,
+}
+
+impl<M> Network<M> {
+    /// Creates a network with the given latency model and RNG seed.
+    pub fn new(latency: LatencyModel, seed: u64) -> Self {
+        Network {
+            latency,
+            rng: SimRng::new(seed).fork(0x006e_6574), // "net"
+            queue: EventQueue::new(),
+            next_addr: 0,
+            accountant: BandwidthAccountant::new(),
+        }
+    }
+
+    /// Allocates a fresh endpoint address.
+    pub fn register(&mut self) -> Addr {
+        let a = Addr(self.next_addr);
+        self.next_addr += 1;
+        a
+    }
+
+    /// Sends `message` of `wire_bytes` from `from` to `to` at time `now`;
+    /// it will be delivered after a sampled one-way latency.
+    pub fn send(&mut self, now: SimTime, from: Addr, to: Addr, message: M, wire_bytes: u64) {
+        self.accountant.record(now, wire_bytes);
+        let delay = self.latency.sample(&mut self.rng);
+        self.queue.push(now + delay, Delivery { from, to, message });
+    }
+
+    /// Pops every message due at or before `now`, in delivery order.
+    pub fn poll(&mut self, now: SimTime) -> Vec<(SimTime, Delivery<M>)> {
+        let mut out = Vec::new();
+        while let Some(item) = self.queue.pop_due(now) {
+            out.push(item);
+        }
+        out
+    }
+
+    /// Time of the next pending delivery, if any.
+    pub fn next_delivery(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of messages in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The wire-byte accountant (for the network-overhead experiment).
+    pub fn accountant(&self) -> &BandwidthAccountant {
+        &self.accountant
+    }
+
+    /// Round-trip estimate for an RPC: two sampled one-way delays plus
+    /// `processing` — used where the caller needs a latency without
+    /// materialising both directions as messages.
+    pub fn rpc_round_trip(&mut self, processing: SimDuration) -> SimDuration {
+        self.latency.sample(&mut self.rng) + self.latency.sample(&mut self.rng) + processing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network<u32> {
+        Network::new(
+            LatencyModel {
+                base: SimDuration::from_micros(500),
+                jitter: SimDuration::ZERO,
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut n = net();
+        let a = n.register();
+        let b = n.register();
+        n.send(SimTime::ZERO, a, b, 7, 100);
+        assert!(n.poll(SimTime::from_micros(499)).is_empty());
+        let d = n.poll(SimTime::from_micros(500));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, SimTime::from_micros(500));
+        assert_eq!(d[0].1, Delivery { from: a, to: b, message: 7 });
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn fifo_between_same_instant_sends() {
+        let mut n = net();
+        let a = n.register();
+        let b = n.register();
+        for i in 0..5 {
+            n.send(SimTime::ZERO, a, b, i, 10);
+        }
+        let msgs: Vec<u32> = n
+            .poll(SimTime::from_secs(1))
+            .into_iter()
+            .map(|(_, d)| d.message)
+            .collect();
+        assert_eq!(msgs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let lat = LatencyModel {
+            base: SimDuration::from_micros(100),
+            jitter: SimDuration::from_micros(50),
+        };
+        let mut r1 = SimRng::new(9);
+        let mut r2 = SimRng::new(9);
+        for _ in 0..100 {
+            let d1 = lat.sample(&mut r1);
+            assert!(d1 >= SimDuration::from_micros(100));
+            assert!(d1 <= SimDuration::from_micros(150));
+            assert_eq!(d1, lat.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn bytes_are_accounted() {
+        let mut n = net();
+        let a = n.register();
+        let b = n.register();
+        n.send(SimTime::ZERO, a, b, 1, 1000);
+        n.send(SimTime::from_millis(10), a, b, 2, 500);
+        assert_eq!(n.accountant().total_bytes(), 1500);
+    }
+
+    #[test]
+    fn rpc_round_trip_includes_processing() {
+        let mut n = net();
+        let rt = n.rpc_round_trip(SimDuration::from_micros(200));
+        assert_eq!(rt, SimDuration::from_micros(1200));
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let mut n = net();
+        let a = n.register();
+        let b = n.register();
+        assert_ne!(a, b);
+        assert_eq!(a.as_u64() + 1, b.as_u64());
+    }
+}

@@ -1,0 +1,26 @@
+//! # escra-net
+//!
+//! Simulated control-plane network for the Escra reproduction.
+//!
+//! The paper's control plane uses per-container kernel TCP sockets for
+//! registration and OOM events, UDP for the per-period CPU telemetry
+//! stream, and gRPC between Controller and Agents. What the allocation
+//! algorithms observe from all of that is (a) **delivery latency** and
+//! (b) **bytes on the wire** (for the §VI-I network-overhead analysis).
+//! This crate models exactly those two things:
+//!
+//! * [`Network`] — a latency-delayed, deterministically ordered message
+//!   fabric between [`Addr`] endpoints, generic over the message type;
+//! * [`LatencyModel`] — base + bounded uniform jitter one-way delay;
+//! * [`BandwidthAccountant`] — per-second byte counters with peak-Mbps
+//!   queries, reproducing the paper's "12.06 Mbps for 32 containers"
+//!   style of measurement.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accounting;
+pub mod fabric;
+
+pub use accounting::BandwidthAccountant;
+pub use fabric::{Addr, LatencyModel, Network};

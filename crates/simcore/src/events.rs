@@ -1,0 +1,220 @@
+//! Discrete-event scheduling.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with deterministic
+//! FIFO tie-breaking: events scheduled for the same instant pop in the
+//! order they were pushed. The payload type is generic so each layer of
+//! the simulator can define its own event enum.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, then
+        // lowest-sequence-first for FIFO ties.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+///
+/// ```
+/// use escra_simcore::{events::EventQueue, time::SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(20), "b");
+/// q.push(SimTime::from_millis(10), "a");
+/// q.push(SimTime::from_millis(20), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(10), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(20), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(20), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A monotone simulation clock, advanced only by the driver loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time: simulated time
+    /// never flows backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "clock moved backwards: {} -> {}",
+            self.now,
+            t
+        );
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), 1);
+        q.push(SimTime::from_millis(1), 2);
+        q.push(SimTime::from_millis(5), 3);
+        q.push(SimTime::from_millis(3), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), "x");
+        assert_eq!(q.pop_due(SimTime::from_millis(5)), None);
+        assert_eq!(
+            q.pop_due(SimTime::from_millis(10)),
+            Some((SimTime::from_millis(10), "x"))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_millis(i), i);
+        }
+        assert_eq!(q.len(), 10);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime::from_millis(10));
+        c.advance_to(c.now() + SimDuration::from_millis(5));
+        assert_eq!(c.now(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn clock_rejects_backwards() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime::from_millis(10));
+        c.advance_to(SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn large_interleaving_stays_sorted() {
+        let mut q = EventQueue::new();
+        let mut rng = crate::rng::SimRng::new(5);
+        for i in 0..5000u64 {
+            q.push(SimTime::from_micros(rng.next_below(1000)), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

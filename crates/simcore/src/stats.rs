@@ -1,0 +1,110 @@
+//! Small statistics helpers shared across the workspace.
+
+/// Exact percentile of a slice (nearest-rank method).
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+///
+/// ```
+/// use escra_simcore::stats::percentile;
+/// let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+/// assert_eq!(percentile(&v, 50.0), 3.0);
+/// assert_eq!(percentile(&v, 100.0), 5.0);
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation (0.0 for fewer than two samples).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|x| (x - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Relative change from `baseline` to `new`, in percent.
+///
+/// `relative_change_pct(200.0, 100.0) == -50.0` (halved).
+/// Returns 0.0 when the baseline is zero.
+pub fn relative_change_pct(baseline: f64, new: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (new - baseline) / baseline * 100.0
+    }
+}
+
+/// Improvement factor `baseline / new` (e.g. "reduces slack by 10x").
+///
+/// Returns `f64::INFINITY` when `new` is zero but `baseline` is not, and
+/// 1.0 when both are zero.
+pub fn improvement_factor(baseline: f64, new: f64) -> f64 {
+    if new == 0.0 {
+        if baseline == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        baseline / new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 50.0), 5.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn change_and_factor() {
+        assert_eq!(relative_change_pct(200.0, 100.0), -50.0);
+        assert_eq!(relative_change_pct(100.0, 325.0), 225.0);
+        assert_eq!(relative_change_pct(0.0, 5.0), 0.0);
+        assert_eq!(improvement_factor(10.0, 1.0), 10.0);
+        assert_eq!(improvement_factor(10.0, 0.0), f64::INFINITY);
+        assert_eq!(improvement_factor(0.0, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Time-series recording.
+//!
+//! The limit-over-time plots (Figs. 2, 8, 9) are produced from
+//! [`TimeSeries`] recorders: append-only `(time, value)` samples with
+//! helpers for per-second averaging and pairwise differencing (the
+//! "savings" panels).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// An append-only series of `(time, value)` samples.
+///
+/// ```
+/// use escra_simcore::{timeseries::TimeSeries, time::SimTime};
+/// let mut ts = TimeSeries::new("cpu_limit");
+/// ts.record(SimTime::from_secs(0), 4.0);
+/// ts.record(SimTime::from_secs(1), 6.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.last(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty, named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The series name (used as a column header in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` is earlier than the last sample.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        debug_assert!(
+            self.times.last().is_none_or(|last| *last <= t),
+            "time series must be recorded in order"
+        );
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Most recent value.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Mean of all values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Maximum value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Averages samples into fixed `bucket_secs`-second buckets, returning
+    /// `(bucket_start_secs, mean_value)` — the per-second averaging used in
+    /// Figs. 8 and 9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is zero.
+    pub fn resample_secs(&self, bucket_secs: u64) -> Vec<(f64, f64)> {
+        assert!(bucket_secs > 0, "bucket size must be positive");
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut bucket: Option<(u64, f64, u64)> = None; // (index, sum, n)
+        for (t, v) in self.iter() {
+            let idx = t.as_micros() / (bucket_secs * 1_000_000);
+            match bucket {
+                Some((cur, ref mut sum, ref mut n)) if cur == idx => {
+                    *sum += v;
+                    *n += 1;
+                }
+                Some((cur, sum, n)) => {
+                    out.push(((cur * bucket_secs) as f64, sum / n as f64));
+                    bucket = Some((idx, v, 1));
+                }
+                None => bucket = Some((idx, v, 1)),
+            }
+        }
+        if let Some((cur, sum, n)) = bucket {
+            out.push(((cur * bucket_secs) as f64, sum / n as f64));
+        }
+        out
+    }
+
+    /// Pointwise difference `self - other` on `other`'s resampled grid —
+    /// the "savings" series of Figs. 8d/9d. Buckets missing from either
+    /// series are skipped.
+    pub fn savings_vs(&self, other: &TimeSeries, bucket_secs: u64) -> Vec<(f64, f64)> {
+        let a = self.resample_secs(bucket_secs);
+        let b = other.resample_secs(bucket_secs);
+        let mut out = Vec::new();
+        let mut j = 0;
+        for (t, va) in a {
+            while j < b.len() && b[j].0 < t {
+                j += 1;
+            }
+            if j < b.len() && (b[j].0 - t).abs() < f64::EPSILON {
+                out.push((t, va - b[j].1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(samples: &[(u64, f64)]) -> TimeSeries {
+        let mut ts = TimeSeries::new("t");
+        for (ms, v) in samples {
+            ts.record(SimTime::from_millis(*ms), *v);
+        }
+        ts
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ts = series(&[(0, 1.0), (500, 3.0)]);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.mean(), 2.0);
+        assert_eq!(ts.max(), Some(3.0));
+        assert_eq!(ts.name(), "t");
+        let pairs: Vec<_> = ts.iter().collect();
+        assert_eq!(pairs[0], (SimTime::ZERO, 1.0));
+    }
+
+    #[test]
+    fn resample_averages_within_buckets() {
+        let ts = series(&[(0, 2.0), (400, 4.0), (1200, 10.0), (1800, 20.0)]);
+        let r = ts.resample_secs(1);
+        assert_eq!(r, vec![(0.0, 3.0), (1.0, 15.0)]);
+    }
+
+    #[test]
+    fn resample_skips_empty_buckets() {
+        let ts = series(&[(0, 1.0), (5000, 9.0)]);
+        let r = ts.resample_secs(1);
+        assert_eq!(r, vec![(0.0, 1.0), (5.0, 9.0)]);
+    }
+
+    #[test]
+    fn savings_is_pointwise_difference() {
+        let a = series(&[(0, 10.0), (1000, 10.0)]);
+        let b = series(&[(0, 4.0), (1000, 7.0)]);
+        let s = a.savings_vs(&b, 1);
+        assert_eq!(s, vec![(0.0, 6.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    fn empty_series_behaviour() {
+        let ts = TimeSeries::new("e");
+        assert!(ts.is_empty());
+        assert_eq!(ts.last(), None);
+        assert!(ts.resample_secs(1).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Fixed-capacity sliding-window statistics.
+//!
+//! The Escra Resource Allocator tracks two windowed statistics per
+//! container: the average throttle indicator and the average unused
+//! runtime over the last `n` CFS periods (paper §IV-D1). [`SlidingWindow`]
+//! provides exactly that in O(1) per update.
+
+use std::collections::VecDeque;
+
+/// A sliding window over the last `capacity` samples with O(1) mean/sum.
+///
+/// ```
+/// use escra_simcore::window::SlidingWindow;
+/// let mut w = SlidingWindow::new(3);
+/// w.push(1.0);
+/// w.push(2.0);
+/// w.push(3.0);
+/// w.push(4.0); // evicts 1.0
+/// assert_eq!(w.mean(), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    samples: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Creates a window keeping the last `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            samples: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds a sample, evicting the oldest when full.
+    pub fn push(&mut self, value: f64) {
+        if self.samples.len() == self.capacity {
+            if let Some(old) = self.samples.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.samples.push_back(value);
+        self.sum += value;
+        // Periodically re-sum to bound floating point drift.
+        if self.samples.len() == self.capacity && self.sum.abs() < 1e-12 {
+            self.sum = self.samples.iter().sum();
+        }
+    }
+
+    /// Mean of the retained samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Sum of the retained samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// True when the window holds `capacity` samples.
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    /// Largest retained sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(m) => m.max(x),
+            })
+        })
+    }
+
+    /// Most recent sample (`None` when empty).
+    pub fn last(&self) -> Option<f64> {
+        self.samples.back().copied()
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// A decayed peak tracker: remembers the maximum observed value and decays
+/// it multiplicatively each tick, as used by Autopilot-style recommenders.
+#[derive(Debug, Clone)]
+pub struct DecayingMax {
+    value: f64,
+    decay: f64,
+}
+
+impl DecayingMax {
+    /// Creates a tracker with multiplicative `decay` per tick in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is outside `(0, 1]`.
+    pub fn new(decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0,1]");
+        DecayingMax { value: 0.0, decay }
+    }
+
+    /// Observes a sample and applies one decay step.
+    pub fn observe(&mut self, sample: f64) {
+        self.value = (self.value * self.decay).max(sample);
+    }
+
+    /// Current decayed maximum.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_partial_window() {
+        let mut w = SlidingWindow::new(5);
+        assert_eq!(w.mean(), 0.0);
+        w.push(2.0);
+        w.push(4.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn eviction_keeps_exact_mean() {
+        let mut w = SlidingWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 10.0, 20.0] {
+            w.push(v);
+        }
+        // Window holds [3, 10, 20].
+        assert!((w.mean() - 11.0).abs() < 1e-12);
+        assert_eq!(w.max(), Some(20.0));
+        assert_eq!(w.last(), Some(20.0));
+    }
+
+    #[test]
+    fn throttle_rate_usage_pattern() {
+        // The allocator pushes 0/1 throttle indicators; mean is the rate.
+        let mut w = SlidingWindow::new(4);
+        for v in [1.0, 0.0, 1.0, 1.0] {
+            w.push(v);
+        }
+        assert_eq!(w.mean(), 0.75);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = SlidingWindow::new(2);
+        w.push(5.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.sum(), 0.0);
+    }
+
+    #[test]
+    fn decaying_max_tracks_and_decays() {
+        let mut d = DecayingMax::new(0.5);
+        d.observe(8.0);
+        assert_eq!(d.value(), 8.0);
+        d.observe(1.0);
+        assert_eq!(d.value(), 4.0); // 8*0.5 > 1
+        d.observe(10.0);
+        assert_eq!(d.value(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        SlidingWindow::new(0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The Alibaba-style trace (paper §VI-A).
+//!
+//! The paper replays an Alibaba cluster trace sped up 10×, producing
+//! request rates between 56 and 548 req/s. The original trace is a large
+//! external download; we substitute a deterministic synthetic trace with
+//! the same envelope: a diurnal-style slow wave, shorter-period load
+//! swings, spike minutes, all clamped to [56, 548] (see DESIGN.md §2).
+
+use crate::generators::WorkloadKind;
+
+/// Minimum rate in the paper's replay.
+pub const ALIBABA_MIN_RPS: f64 = 56.0;
+/// Maximum rate in the paper's replay.
+pub const ALIBABA_MAX_RPS: f64 = 548.0;
+
+/// Builds the synthetic Alibaba-style trace with one rate per second.
+///
+/// Deterministic: the same `seconds` always yields the same trace.
+///
+/// ```
+/// use escra_workloads::trace::{alibaba_trace, ALIBABA_MAX_RPS, ALIBABA_MIN_RPS};
+/// let rates = alibaba_trace(120);
+/// assert_eq!(rates.len(), 120);
+/// assert!(rates.iter().all(|r| (ALIBABA_MIN_RPS..=ALIBABA_MAX_RPS).contains(r)));
+/// ```
+pub fn alibaba_trace(seconds: usize) -> Vec<f64> {
+    let mid = (ALIBABA_MAX_RPS + ALIBABA_MIN_RPS) / 2.0;
+    let half_span = (ALIBABA_MAX_RPS - ALIBABA_MIN_RPS) / 2.0;
+    (0..seconds)
+        .map(|s| {
+            let t = s as f64;
+            // Slow "diurnal" wave (10×-sped-up day ≈ 8.6 min here we use
+            // a 240 s fundamental so short runs still see it move).
+            let slow = (t * core::f64::consts::TAU / 240.0).sin() * 0.55;
+            // Mid-scale swings (~37 s) and fast jitter (~7 s).
+            let mid_wave = (t * core::f64::consts::TAU / 37.0).sin() * 0.25;
+            let fast = (t * core::f64::consts::TAU / 7.0 + 1.3).sin() * 0.12;
+            // Deterministic spike pattern: every 53 s, a 3-second spike.
+            let spike = if s % 53 < 3 { 0.5 } else { 0.0 };
+            let x = mid + half_span * (slow + mid_wave + fast + spike);
+            x.clamp(ALIBABA_MIN_RPS, ALIBABA_MAX_RPS)
+        })
+        .collect()
+}
+
+/// The Alibaba workload as a [`WorkloadKind`] trace of `seconds` length.
+pub fn alibaba_workload(seconds: usize) -> WorkloadKind {
+    WorkloadKind::Trace {
+        rates: alibaba_trace(seconds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_respected() {
+        let rates = alibaba_trace(600);
+        let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().copied().fold(0.0f64, f64::max);
+        assert!(min >= ALIBABA_MIN_RPS);
+        assert!(max <= ALIBABA_MAX_RPS);
+        // The trace actually explores a good part of the envelope.
+        assert!(max - min > 0.5 * (ALIBABA_MAX_RPS - ALIBABA_MIN_RPS));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(alibaba_trace(100), alibaba_trace(100));
+    }
+
+    #[test]
+    fn has_spikes() {
+        let rates = alibaba_trace(120);
+        // Spike seconds should exceed their neighbours.
+        assert!(rates[53] > rates[50]);
+    }
+
+    #[test]
+    fn variable_not_constant() {
+        let rates = alibaba_trace(60);
+        let first = rates[0];
+        assert!(rates.iter().any(|r| (r - first).abs() > 20.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! HipsterShop under the paper's Burst workload (50 req/s with 10 s
+//! bursts of λ = 600 every 20 s) — the scenario where event-driven
+//! allocation shines. Compares Escra with Static-1.5× and Autopilot.
+//!
+//! ```text
+//! cargo run --release --example microservice_burst
+//! ```
+
+use escra::harness::{profile_run, run_with_profiles, MicroSimConfig, Policy};
+use escra::metrics::{Comparison, Table};
+use escra::simcore::time::SimDuration;
+use escra::workloads::{hipster_shop, WorkloadKind};
+
+fn main() {
+    let base = MicroSimConfig::new(
+        hipster_shop(),
+        WorkloadKind::paper_burst(),
+        Policy::static_1_5x(),
+        2022,
+    )
+    .with_duration(SimDuration::from_secs(60));
+
+    println!("profiling HipsterShop (the way an operator would)...");
+    let profiles = profile_run(&base);
+
+    let mut runs = Vec::new();
+    for policy in [
+        Policy::static_1_5x(),
+        Policy::autopilot_default(),
+        Policy::escra_default(),
+    ] {
+        println!("running {} ...", policy.name());
+        let cfg = MicroSimConfig {
+            policy,
+            ..base.clone()
+        };
+        runs.push(run_with_profiles(&cfg, &profiles).metrics);
+    }
+
+    let mut table = Table::new(vec![
+        "policy",
+        "tput(req/s)",
+        "p50(ms)",
+        "p99.9(ms)",
+        "cpu slack p50",
+        "mem slack p50(MiB)",
+        "OOM kills",
+    ]);
+    for m in &runs {
+        table.row(vec![
+            m.policy.clone(),
+            format!("{:.1}", m.throughput()),
+            format!("{:.0}", m.latency.p(50.0)),
+            format!("{:.0}", m.latency.p(99.9)),
+            format!("{:.2}", m.slack.cpu_p(50.0)),
+            format!("{:.0}", m.slack.mem_p(50.0)),
+            format!("{}", m.oom_kills),
+        ]);
+    }
+    println!("\nHipsterShop x Burst, 60 s measured:\n\n{}", table.render());
+
+    let vs_static = Comparison::between(&runs[0], &runs[2]);
+    let vs_autopilot = Comparison::between(&runs[1], &runs[2]);
+    println!(
+        "Escra vs static : {:+.1}% latency, {:+.1}% throughput, {:+.1}% median CPU slack",
+        vs_static.latency_decrease_pct,
+        vs_static.throughput_increase_pct,
+        vs_static.cpu_slack_p50_reduction_pct
+    );
+    println!(
+        "Escra vs autopilot: {:+.1}% latency, {:+.1}% throughput, {:+.1}% median CPU slack",
+        vs_autopilot.latency_decrease_pct,
+        vs_autopilot.throughput_increase_pct,
+        vs_autopilot.cpu_slack_p50_reduction_pct
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: deploy a small application under Escra management and
+//! watch fine-grained allocation do its thing.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use escra::harness::{run, MicroSimConfig, Policy};
+use escra::simcore::time::SimDuration;
+use escra::workloads::{teastore, WorkloadKind};
+
+fn main() {
+    // Teastore: 7 containers, a 12-core / 2.5 GiB Distributed Container.
+    let app = teastore();
+    println!(
+        "deploying {} ({} containers, Ω = {} cores, {} MiB global memory)",
+        app.name,
+        app.container_count(),
+        app.global_cpu_cores,
+        app.global_mem_mib
+    );
+
+    let cfg = MicroSimConfig::new(
+        app,
+        WorkloadKind::Fixed { rps: 300.0 },
+        Policy::escra_default(),
+        42,
+    )
+    .with_duration(SimDuration::from_secs(30));
+
+    let out = run(&cfg);
+    let m = &out.metrics;
+    println!("\nafter 30 s at 300 req/s under Escra:");
+    println!("  throughput        : {:.1} req/s", m.throughput());
+    println!("  median latency    : {:.0} ms", m.latency.p(50.0));
+    println!("  99.9%ile latency  : {:.0} ms", m.latency.p(99.9));
+    println!("  median CPU slack  : {:.2} cores/container", m.slack.cpu_p(50.0));
+    println!("  median mem slack  : {:.0} MiB/container", m.slack.mem_p(50.0));
+    println!("  OOM kills         : {} (Escra traps OOMs before the kernel kills)", m.oom_kills);
+
+    let stats = out.controller_stats.expect("escra run");
+    println!("\ncontroller activity:");
+    println!("  telemetry ingested: {} per-period reports", stats.cpu_stats_ingested);
+    println!("  quota scale-ups   : {}", stats.scale_ups);
+    println!("  quota scale-downs : {}", stats.scale_downs);
+    println!("  reclamation sweeps: {} (every 5 s, δ = 50 MiB)", stats.reclaim_sweeps);
+    println!(
+        "  memory reclaimed  : {} MiB returned to the pool",
+        stats.reclaimed_bytes / (1024 * 1024)
+    );
+    let net = out.network.expect("escra run");
+    println!(
+        "  control-plane load: {:.2} Mbps peak / {:.2} Mbps mean",
+        net.peak_mbps(),
+        net.mean_mbps()
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration tests spanning the whole workspace: deploy → drive →
+//! measure under each policy, checking the paper's headline claims hold
+//! in-the-small on every run.
+
+use escra::harness::{run, MicroSimConfig, Policy};
+use escra::simcore::time::SimDuration;
+use escra::workloads::{hipster_shop, teastore, WorkloadKind};
+
+fn quick(policy: Policy, seed: u64) -> MicroSimConfig {
+    MicroSimConfig::new(teastore(), WorkloadKind::Fixed { rps: 200.0 }, policy, seed)
+        .with_duration(SimDuration::from_secs(15))
+}
+
+#[test]
+fn escra_never_ooms() {
+    // §VI-E: "In all 32 experiments, Escra experienced zero OOMs."
+    for seed in [1, 7, 42] {
+        let out = run(&quick(Policy::escra_default(), seed));
+        assert_eq!(out.metrics.oom_kills, 0, "seed {seed}");
+        assert_eq!(
+            out.controller_stats.expect("escra stats").ooms_fatal,
+            0,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn escra_respects_the_distributed_container_limit() {
+    // The aggregate of all quotas must never exceed Ωl — the runtime
+    // enforcement that distinguishes Distributed Containers from
+    // admission-time Resource Quotas (§III).
+    let app = teastore();
+    let omega = app.global_cpu_cores;
+    let cfg = MicroSimConfig::new(
+        app,
+        WorkloadKind::paper_burst(),
+        Policy::escra_default(),
+        3,
+    )
+    .with_duration(SimDuration::from_secs(20));
+    let out = run(&cfg);
+    let max_agg = out
+        .metrics
+        .cpu_limit_series
+        .max()
+        .expect("limits sampled");
+    assert!(
+        max_agg <= omega + 1e-6,
+        "aggregate limit {max_agg} exceeded Ω = {omega}"
+    );
+}
+
+#[test]
+fn identical_seeds_are_bit_reproducible() {
+    let a = run(&quick(Policy::escra_default(), 9));
+    let b = run(&quick(Policy::escra_default(), 9));
+    assert_eq!(a.metrics.latency.successes(), b.metrics.latency.successes());
+    assert_eq!(a.metrics.latency.p(99.9), b.metrics.latency.p(99.9));
+    assert_eq!(a.metrics.slack.cpu_p(50.0), b.metrics.slack.cpu_p(50.0));
+    assert_eq!(
+        a.controller_stats.expect("stats").quota_updates,
+        b.controller_stats.expect("stats").quota_updates
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(&quick(Policy::escra_default(), 1));
+    let b = run(&quick(Policy::escra_default(), 2));
+    // Same workload shape, different sample paths.
+    assert_ne!(a.metrics.latency.p(99.9), b.metrics.latency.p(99.9));
+}
+
+#[test]
+fn all_policies_serve_the_fixed_workload() {
+    for policy in [
+        Policy::escra_default(),
+        Policy::static_1_5x(),
+        Policy::autopilot_default(),
+    ] {
+        let name = policy.name();
+        let out = run(&quick(policy, 5));
+        let tput = out.metrics.throughput();
+        assert!(tput > 150.0, "{name}: tput {tput}");
+    }
+}
+
+#[test]
+fn escra_reduces_median_slack_on_hipster_burst() {
+    // The headline trade-off (§VI-B): Escra cuts slack without giving up
+    // throughput, on the workload the paper highlights.
+    let mk = |policy| {
+        MicroSimConfig::new(hipster_shop(), WorkloadKind::paper_burst(), policy, 2022)
+            .with_duration(SimDuration::from_secs(30))
+    };
+    let escra = run(&mk(Policy::escra_default()));
+    let fixed = run(&mk(Policy::static_1_5x()));
+    assert!(
+        escra.metrics.slack.cpu_p(50.0) < fixed.metrics.slack.cpu_p(50.0),
+        "escra {} vs static {}",
+        escra.metrics.slack.cpu_p(50.0),
+        fixed.metrics.slack.cpu_p(50.0)
+    );
+    assert!(
+        escra.metrics.slack.mem_p(50.0) < fixed.metrics.slack.mem_p(50.0),
+        "escra mem {} vs static {}",
+        escra.metrics.slack.mem_p(50.0),
+        fixed.metrics.slack.mem_p(50.0)
+    );
+    assert!(escra.metrics.throughput() >= fixed.metrics.throughput() * 0.95);
+}
+
+#[test]
+fn escra_telemetry_flows_and_is_accounted() {
+    let out = run(&quick(Policy::escra_default(), 13));
+    let stats = out.controller_stats.expect("stats");
+    // 7 containers × 10 reports/s × ~15 s of measured run (plus warm-up).
+    assert!(stats.cpu_stats_ingested > 1_000);
+    assert!(stats.scale_ups > 0, "some throttles must have occurred");
+    assert!(stats.scale_downs > 0, "some slack must have been reclaimed");
+    assert!(stats.reclaim_sweeps >= 2, "5 s reclamation loop ran");
+    let net = out.network.expect("escra accounts bytes");
+    assert!(net.total_bytes() > 0);
+    assert!(net.peak_mbps() < 100.0, "control plane must stay lightweight");
+}

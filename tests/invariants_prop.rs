@@ -1,0 +1,188 @@
+//! Property-based tests on the core data structures and allocation
+//! invariants.
+
+use escra::cfs::node::{arbitrate, arbitrate_weighted};
+use escra::cfs::{ChargeOutcome, CpuBandwidth, MemCgroup};
+use escra::cluster::{AppId, ContainerId, NodeId};
+use escra::core::allocator::ResourceAllocator;
+use escra::core::EscraConfig;
+use escra::simcore::histogram::LogHistogram;
+use escra::simcore::stats::percentile;
+use proptest::prelude::*;
+
+proptest! {
+    /// Max–min arbitration: conserving, bounded by demand, and
+    /// work-conserving when oversubscribed.
+    #[test]
+    fn arbitrate_is_fair_and_conserving(
+        capacity in 0.0f64..1_000.0,
+        demands in proptest::collection::vec(0.0f64..500.0, 0..20),
+    ) {
+        let grants = arbitrate(capacity, &demands);
+        prop_assert_eq!(grants.len(), demands.len());
+        let total: f64 = grants.iter().sum();
+        prop_assert!(total <= capacity + 1e-6);
+        for (g, d) in grants.iter().zip(demands.iter()) {
+            prop_assert!(*g >= -1e-12 && *g <= d + 1e-9);
+        }
+        let want: f64 = demands.iter().sum();
+        if want > capacity {
+            prop_assert!((total - capacity).abs() < 1e-6, "work conserving");
+        } else {
+            prop_assert!((total - want).abs() < 1e-6, "fully satisfied");
+        }
+    }
+
+    /// Weighted arbitration degenerates to the unweighted one for equal
+    /// weights.
+    #[test]
+    fn weighted_equals_unweighted_for_equal_weights(
+        capacity in 0.0f64..100.0,
+        demands in proptest::collection::vec(0.0f64..50.0, 1..10),
+    ) {
+        let w = vec![1.0; demands.len()];
+        let a = arbitrate(capacity, &demands);
+        let b = arbitrate_weighted(capacity, &demands, &w);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// CFS bandwidth accounting: usage never exceeds quota per period and
+    /// the throttle flag is exactly "asked for more than remained".
+    #[test]
+    fn cfs_usage_bounded_by_quota(
+        quota in 0.05f64..16.0,
+        requests in proptest::collection::vec(0.0f64..100_000.0, 1..20),
+    ) {
+        let mut bw = CpuBandwidth::new(quota);
+        let mut wanted = 0.0;
+        for r in &requests {
+            wanted += r;
+            bw.consume(*r);
+        }
+        let stats = bw.end_period();
+        let quota_us = quota * 100_000.0;
+        prop_assert!(stats.usage_us <= quota_us + 1e-6);
+        prop_assert!((stats.usage_us + stats.unused_runtime_us - quota_us).abs() < 1e-6);
+        prop_assert_eq!(stats.throttled, wanted > quota_us + 1e-9);
+    }
+
+    /// Memory cgroup: charges and uncharges never corrupt accounting and
+    /// a would-OOM leaves usage untouched.
+    #[test]
+    fn mem_cgroup_accounting(
+        limit_mib in 1u64..1024,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..512), 1..50),
+    ) {
+        let limit = limit_mib * 1024 * 1024;
+        let mut m = MemCgroup::new(limit);
+        let mut shadow: u64 = 0;
+        for (charge, mib) in ops {
+            let bytes = mib * 1024 * 1024;
+            if charge {
+                match m.try_charge(bytes) {
+                    ChargeOutcome::Charged => shadow += bytes,
+                    ChargeOutcome::WouldOom { shortfall_bytes } => {
+                        prop_assert_eq!(shadow + bytes - limit, shortfall_bytes);
+                    }
+                }
+            } else {
+                m.uncharge(bytes);
+                shadow = shadow.saturating_sub(bytes);
+            }
+            prop_assert_eq!(m.usage_bytes(), shadow);
+            prop_assert!(m.usage_bytes() <= m.limit_bytes());
+        }
+    }
+
+    /// The allocator's pool accounting is conserved under arbitrary
+    /// telemetry: Σ tracked quotas == pool allocated, never above Ω.
+    #[test]
+    fn allocator_conserves_the_pool(
+        omega in 2.0f64..64.0,
+        events in proptest::collection::vec(
+            (0u64..8, 0.0f64..4.0, any::<bool>()),
+            1..200,
+        ),
+    ) {
+        let app = AppId::new(0);
+        let mut alloc = ResourceAllocator::new(EscraConfig::default());
+        alloc.register_app(app, omega, 8 << 30);
+        for i in 0..8u64 {
+            alloc
+                .register_container(
+                    ContainerId::new(i),
+                    app,
+                    NodeId::new(i % 3),
+                    omega / 8.0,
+                    128 << 20,
+                )
+                .expect("register");
+        }
+        for (cid, usage, throttled) in events {
+            let container = ContainerId::new(cid);
+            let quota = alloc.quota_of(container).expect("tracked");
+            let usage = usage.min(quota);
+            let stats = escra::cfs::CpuPeriodStats {
+                quota_cores: quota,
+                usage_us: usage * 100_000.0,
+                unused_runtime_us: (quota - usage) * 100_000.0,
+                throttled,
+            };
+            alloc.on_cpu_stats(container, stats).expect("tracked");
+            let pool = alloc.app_pool(app).expect("app");
+            let tracked = alloc.tracked_cpu_sum(app);
+            prop_assert!((tracked - pool.allocated_cpu_cores()).abs() < 1e-6);
+            prop_assert!(tracked <= omega + 1e-6);
+            prop_assert!(alloc.quota_of(container).expect("tracked") >= 0.05 - 1e-9);
+        }
+    }
+
+    /// Memory pool conservation under OOM grants and reclamation.
+    #[test]
+    fn allocator_mem_pool_conserved(
+        ops in proptest::collection::vec((0u64..4, 0u64..256, any::<bool>()), 1..100),
+    ) {
+        let app = AppId::new(0);
+        let global: u64 = 4 << 30;
+        let mut alloc = ResourceAllocator::new(EscraConfig::default());
+        alloc.register_app(app, 8.0, global);
+        for i in 0..4u64 {
+            alloc
+                .register_container(ContainerId::new(i), app, NodeId::new(0), 1.0, 512 << 20)
+                .expect("register");
+        }
+        for (cid, mib, grow) in ops {
+            let container = ContainerId::new(cid);
+            if grow {
+                let _ = alloc.on_oom(container, mib * 1024 * 1024);
+            } else {
+                let current = alloc.mem_limit_of(container).expect("tracked");
+                let target = current.saturating_sub(mib * 1024 * 1024).max(1);
+                alloc.apply_reclaim(container, target).expect("tracked");
+            }
+            let pool = alloc.app_pool(app).expect("app");
+            prop_assert_eq!(alloc.tracked_mem_sum(app), pool.allocated_mem_bytes());
+            prop_assert!(pool.allocated_mem_bytes() <= global);
+        }
+    }
+
+    /// The log histogram's percentiles track exact percentiles within its
+    /// documented relative error.
+    #[test]
+    fn histogram_matches_exact_percentiles(
+        values in proptest::collection::vec(0.001f64..1e6, 10..500),
+        p in 1.0f64..99.0,
+    ) {
+        let mut h = LogHistogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let exact = percentile(&values, p);
+        let approx = h.percentile(p);
+        let rel = (approx - exact).abs() / exact.max(1e-9);
+        // Bucket resolution is ~1.5%; ties at bucket edges can double it.
+        prop_assert!(rel < 0.05, "p{p}: exact {exact} vs approx {approx}");
+    }
+}
