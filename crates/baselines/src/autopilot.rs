@@ -65,11 +65,31 @@ impl Default for AutopilotConfig {
         AutopilotConfig {
             update_period: SimDuration::from_secs(1),
             arms: vec![
-                Arm { half_life_samples: 30.0, percentile: 95.0, margin: 0.10 },
-                Arm { half_life_samples: 30.0, percentile: 99.0, margin: 0.15 },
-                Arm { half_life_samples: 120.0, percentile: 90.0, margin: 0.25 },
-                Arm { half_life_samples: 120.0, percentile: 95.0, margin: 0.15 },
-                Arm { half_life_samples: 600.0, percentile: 99.0, margin: 0.10 },
+                Arm {
+                    half_life_samples: 30.0,
+                    percentile: 95.0,
+                    margin: 0.10,
+                },
+                Arm {
+                    half_life_samples: 30.0,
+                    percentile: 99.0,
+                    margin: 0.15,
+                },
+                Arm {
+                    half_life_samples: 120.0,
+                    percentile: 90.0,
+                    margin: 0.25,
+                },
+                Arm {
+                    half_life_samples: 120.0,
+                    percentile: 95.0,
+                    margin: 0.15,
+                },
+                Arm {
+                    half_life_samples: 600.0,
+                    percentile: 99.0,
+                    margin: 0.10,
+                },
             ],
             w_overrun: 4.0,
             w_underrun: 1.0,

@@ -38,17 +38,14 @@ impl StaticPolicy {
     /// # Panics
     ///
     /// Panics if `factor` is not positive.
-    pub fn from_profiles(
-        profiles: &BTreeMap<ContainerId, ContainerProfile>,
-        factor: f64,
-    ) -> Self {
+    pub fn from_profiles(profiles: &BTreeMap<ContainerId, ContainerProfile>, factor: f64) -> Self {
         assert!(factor > 0.0, "provisioning factor must be positive");
         StaticPolicy {
             limits: profiles
                 .iter()
                 .map(|(id, p)| (*id, p.scaled(factor)))
                 .collect(),
-        factor,
+            factor,
         }
     }
 

@@ -135,8 +135,7 @@ impl PeriodicScaler for VpaScaler {
                 continue;
             }
             let new_cpu = (st.peak_cpu / cfg.target_utilization).max(cfg.min_cpu_cores);
-            let new_mem =
-                ((st.peak_mem / cfg.target_utilization) as u64).max(cfg.min_mem_bytes);
+            let new_mem = ((st.peak_mem / cfg.target_utilization) as u64).max(cfg.min_mem_bytes);
             st.cpu_limit = new_cpu;
             st.mem_limit = new_mem;
             st.samples_since_rescale = 0;

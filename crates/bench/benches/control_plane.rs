@@ -26,8 +26,14 @@ fn allocator_with(n: u64) -> ResourceAllocator {
     let mut a = ResourceAllocator::new(EscraConfig::default());
     a.register_app(AppId::new(0), n as f64, n * 256 * MIB);
     for i in 0..n {
-        a.register_container(ContainerId::new(i), AppId::new(0), NodeId::new(i % 8), 1.0, 128 * MIB)
-            .expect("register");
+        a.register_container(
+            ContainerId::new(i),
+            AppId::new(0),
+            NodeId::new(i % 8),
+            1.0,
+            128 * MIB,
+        )
+        .expect("register");
     }
     a
 }
@@ -60,8 +66,14 @@ fn bench_controller_ingest(c: &mut Criterion) {
         let mut ctl = Controller::new(EscraConfig::default());
         ctl.register_app(AppId::new(0), n as f64, n * 256 * MIB);
         for i in 0..n {
-            ctl.register_container(ContainerId::new(i), AppId::new(0), NodeId::new(i % 8), 1.0, 128 * MIB)
-                .expect("register");
+            ctl.register_container(
+                ContainerId::new(i),
+                AppId::new(0),
+                NodeId::new(i % 8),
+                1.0,
+                128 * MIB,
+            )
+            .expect("register");
         }
         let mut i = 0u64;
         b.iter(|| {
@@ -78,8 +90,14 @@ fn bench_controller_ingest(c: &mut Criterion) {
             || {
                 let mut ctl = Controller::new(EscraConfig::default());
                 ctl.register_app(AppId::new(0), 8.0, 8 << 30);
-                ctl.register_container(ContainerId::new(0), AppId::new(0), NodeId::new(0), 1.0, 256 * MIB)
-                    .expect("register");
+                ctl.register_container(
+                    ContainerId::new(0),
+                    AppId::new(0),
+                    NodeId::new(0),
+                    1.0,
+                    256 * MIB,
+                )
+                .expect("register");
                 ctl
             },
             |mut ctl| {
@@ -88,6 +106,7 @@ fn bench_controller_ingest(c: &mut Criterion) {
                     ToController::OomEvent {
                         container: ContainerId::new(0),
                         shortfall_bytes: MIB,
+                        current_limit_bytes: 256 * MIB,
                     },
                 ))
             },

@@ -32,7 +32,13 @@ fn row(table: &mut Table, name: String, m: &escra_metrics::RunMetrics) {
 }
 
 fn main() {
-    let headers = vec!["variant", "tput(req/s)", "p99.9(ms)", "cpu slack p50", "mem slack p50(MiB)"];
+    let headers = vec![
+        "variant",
+        "tput(req/s)",
+        "p99.9(ms)",
+        "cpu slack p50",
+        "mem slack p50(MiB)",
+    ];
     let mut dump: Vec<(String, f64, f64)> = Vec::new();
     let record = |m: &escra_metrics::RunMetrics, name: &str, dump: &mut Vec<(String, f64, f64)>| {
         dump.push((name.to_string(), m.throughput(), m.latency.p(99.9)));
@@ -50,7 +56,10 @@ fn main() {
         record(&m, &format!("growth-cap {factor}x"), &mut dump);
         row(&mut t, format!("growth cap {factor}x/period"), &m);
     }
-    println!("scale-up growth cap (reaction speed vs over-grant):\n{}", t.render());
+    println!(
+        "scale-up growth cap (reaction speed vs over-grant):\n{}",
+        t.render()
+    );
 
     let mut t = Table::new(headers.clone());
     for gamma in [0.1, 0.25, 0.5, 1.0] {
@@ -66,7 +75,10 @@ fn main() {
         record(&m, &format!("window {n}"), &mut dump);
         row(&mut t, format!("window n = {n} periods"), &m);
     }
-    println!("sliding-window length (smoothing vs responsiveness):\n{}", t.render());
+    println!(
+        "sliding-window length (smoothing vs responsiveness):\n{}",
+        t.render()
+    );
 
     let mut t = Table::new(headers.clone());
     for mib in [10u64, 50, 200] {

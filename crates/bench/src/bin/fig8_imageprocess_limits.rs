@@ -4,7 +4,7 @@
 
 use escra_bench::write_json;
 use escra_core::EscraConfig;
-use escra_harness::serverless_sim::{run_serverless, ServerlessConfig, ServerlessApp};
+use escra_harness::serverless_sim::{run_serverless, ServerlessApp, ServerlessConfig};
 use escra_metrics::{to_json, Table};
 use escra_workloads::serverless::image_process;
 

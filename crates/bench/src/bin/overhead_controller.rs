@@ -45,7 +45,9 @@ fn main() {
                 container: ContainerId::new(i),
                 stats: stats((round + i) % 7 == 0),
             };
-            actions += controller.handle(SimTime::from_millis(round * 100), msg).len() as u64;
+            actions += controller
+                .handle(SimTime::from_millis(round * 100), msg)
+                .len() as u64;
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
@@ -54,9 +56,15 @@ fn main() {
     let per_core = rate / 10.0; // each container reports at 10 Hz
 
     let mut table = Table::new(vec!["metric", "value"]);
-    table.row(vec!["telemetry messages processed".into(), format!("{msgs:.0}")]);
+    table.row(vec![
+        "telemetry messages processed".into(),
+        format!("{msgs:.0}"),
+    ]);
     table.row(vec!["actions emitted".into(), format!("{actions}")]);
-    table.row(vec!["ingest rate (msg/s/core)".into(), format!("{rate:.0}")]);
+    table.row(vec![
+        "ingest rate (msg/s/core)".into(),
+        format!("{rate:.0}"),
+    ]);
     table.row(vec![
         "containers manageable per core".into(),
         format!("{per_core:.0}"),

@@ -18,7 +18,12 @@ fn main() {
         "bytes/container/s",
     ]);
     let mut dump = Vec::new();
-    for app in [teastore(), hipster_shop(), media_microservice(), train_ticket()] {
+    for app in [
+        teastore(),
+        hipster_shop(),
+        media_microservice(),
+        train_ticket(),
+    ] {
         let n = app.container_count();
         let name = app.name.clone();
         let cfg = MicroSimConfig::new(

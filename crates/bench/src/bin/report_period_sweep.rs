@@ -17,9 +17,7 @@ fn main() {
         let cfg = MicroSimConfig::new(
             hipster_shop(),
             WorkloadKind::paper_burst(),
-            Policy::Escra(
-                EscraConfig::default().with_report_period(SimDuration::from_millis(ms)),
-            ),
+            Policy::Escra(EscraConfig::default().with_report_period(SimDuration::from_millis(ms))),
             SEED,
         )
         .with_duration(SimDuration::from_secs(60));

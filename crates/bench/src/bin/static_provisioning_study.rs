@@ -43,7 +43,11 @@ fn main() {
             format!("{:.0}", m.slack.mem_p(50.0)),
             format!("{}", m.oom_kills),
         ]);
-        dump.push((format!("static-{factor}x"), m.throughput(), m.latency.p(99.9)));
+        dump.push((
+            format!("static-{factor}x"),
+            m.throughput(),
+            m.latency.p(99.9),
+        ));
     }
     let escra = run_with_profiles(
         &MicroSimConfig {

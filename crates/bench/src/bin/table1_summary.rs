@@ -18,7 +18,14 @@ fn main() {
     let cells = run_matrix(RUN_SECS, SEED);
 
     let mut per_cell = Table::new(vec![
-        "app", "workload", "policy", "tput(req/s)", "p99.9(ms)", "cpu p50 slack", "mem p50 slack(MiB)", "OOMs",
+        "app",
+        "workload",
+        "policy",
+        "tput(req/s)",
+        "p99.9(ms)",
+        "cpu p50 slack",
+        "mem p50 slack(MiB)",
+        "OOMs",
     ]);
     let mut static_cmps = Vec::new();
     let mut autopilot_cmps = Vec::new();
@@ -48,12 +55,60 @@ fn main() {
     let summarize = |name: &str, cmps: &[Comparison]| -> Vec<String> {
         vec![
             name.into(),
-            format!("{:.1}%", mean(&cmps.iter().map(|c| c.latency_decrease_pct).collect::<Vec<_>>())),
-            format!("{:.1}%", mean(&cmps.iter().map(|c| c.throughput_increase_pct).collect::<Vec<_>>())),
-            format!("{:.1}%", mean(&cmps.iter().map(|c| c.cpu_slack_p50_reduction_pct).collect::<Vec<_>>())),
-            format!("{:.1}%", mean(&cmps.iter().map(|c| c.cpu_slack_p99_reduction_pct).collect::<Vec<_>>())),
-            format!("{:.1}%", mean(&cmps.iter().map(|c| c.mem_slack_p50_reduction_pct).collect::<Vec<_>>())),
-            format!("{:.1}%", mean(&cmps.iter().map(|c| c.mem_slack_p99_reduction_pct).collect::<Vec<_>>())),
+            format!(
+                "{:.1}%",
+                mean(
+                    &cmps
+                        .iter()
+                        .map(|c| c.latency_decrease_pct)
+                        .collect::<Vec<_>>()
+                )
+            ),
+            format!(
+                "{:.1}%",
+                mean(
+                    &cmps
+                        .iter()
+                        .map(|c| c.throughput_increase_pct)
+                        .collect::<Vec<_>>()
+                )
+            ),
+            format!(
+                "{:.1}%",
+                mean(
+                    &cmps
+                        .iter()
+                        .map(|c| c.cpu_slack_p50_reduction_pct)
+                        .collect::<Vec<_>>()
+                )
+            ),
+            format!(
+                "{:.1}%",
+                mean(
+                    &cmps
+                        .iter()
+                        .map(|c| c.cpu_slack_p99_reduction_pct)
+                        .collect::<Vec<_>>()
+                )
+            ),
+            format!(
+                "{:.1}%",
+                mean(
+                    &cmps
+                        .iter()
+                        .map(|c| c.mem_slack_p50_reduction_pct)
+                        .collect::<Vec<_>>()
+                )
+            ),
+            format!(
+                "{:.1}%",
+                mean(
+                    &cmps
+                        .iter()
+                        .map(|c| c.mem_slack_p99_reduction_pct)
+                        .collect::<Vec<_>>()
+                )
+            ),
         ]
     };
     let mut table1 = Table::new(vec![

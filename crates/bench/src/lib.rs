@@ -73,13 +73,8 @@ pub fn run_cell(
     duration_secs: u64,
     seed: u64,
 ) -> CellResult {
-    let base = MicroSimConfig::new(
-        app.clone(),
-        workload.clone(),
-        Policy::static_1_5x(),
-        seed,
-    )
-    .with_duration(SimDuration::from_secs(duration_secs));
+    let base = MicroSimConfig::new(app.clone(), workload.clone(), Policy::static_1_5x(), seed)
+        .with_duration(SimDuration::from_secs(duration_secs));
     let profiles = profile_run(&base);
 
     let run_policy = |policy: Policy| {
@@ -135,7 +130,14 @@ mod tests {
     #[test]
     fn one_small_cell_runs() {
         let (name, app) = &paper_apps_named()[3]; // Teastore (smallest)
-        let cell = run_cell(name, app, "fixed", &WorkloadKind::Fixed { rps: 120.0 }, 10, 1);
+        let cell = run_cell(
+            name,
+            app,
+            "fixed",
+            &WorkloadKind::Fixed { rps: 120.0 },
+            10,
+            1,
+        );
         assert!(cell.escra.latency.successes() > 800);
         assert!(cell.static_1_5.latency.successes() > 800);
         assert!(cell.autopilot.latency.successes() > 600);

@@ -159,11 +159,14 @@ impl CpuBandwidth {
         let new_quota = quota_cores.max(MIN_QUOTA_CORES);
         let delta_us = (new_quota - self.quota_cores) * self.period.as_micros() as f64;
         self.quota_cores = new_quota;
-        // Adjust this period's remaining runtime by the delta, never below 0.
+        // Adjust this period's remaining runtime by the delta, never
+        // below 0. `throttled_this_period` is deliberately left set: the
+        // group *was* throttled this period, and the kernel's
+        // nr_throttled stays incremented after a quota raise — clearing
+        // it here erased the throttle signal from this period's
+        // telemetry. The group still runs again immediately because
+        // runtime is available.
         self.runtime_remaining_us = (self.runtime_remaining_us + delta_us).max(0.0);
-        if self.runtime_remaining_us > 0.0 {
-            self.throttled_this_period = false;
-        }
     }
 
     /// Attempts to consume `request_us` core-microseconds of runtime.
@@ -256,15 +259,23 @@ mod tests {
     }
 
     #[test]
-    fn quota_raise_mid_period_unthrottles() {
+    fn quota_raise_mid_period_restores_runtime_but_keeps_throttle_telemetry() {
         let mut bw = CpuBandwidth::new(0.5);
         bw.consume(60_000.0); // throttled at 50k
         assert!(bw.is_throttled());
         bw.set_quota_cores(1.0); // Escra scales up without restart
-        assert!(!bw.is_throttled());
+                                 // Runtime is available again and consumption proceeds...
         assert_eq!(bw.runtime_remaining_us(), 50_000.0);
         let granted = bw.consume(10_000.0);
         assert_eq!(granted, 10_000.0);
+        // ...but the period's throttle signal survives, matching the
+        // kernel's nr_throttled semantics.
+        assert!(bw.is_throttled());
+        let s = bw.end_period();
+        assert!(s.throttled);
+        assert_eq!(bw.nr_throttled(), 1);
+        // The next period starts clean.
+        assert!(!bw.is_throttled());
     }
 
     #[test]

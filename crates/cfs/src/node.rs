@@ -54,10 +54,7 @@ pub fn arbitrate(capacity: f64, demands: &[f64]) -> Vec<f64> {
 /// Panics if lengths differ or any weight is non-positive.
 pub fn arbitrate_weighted(capacity: f64, demands: &[f64], weights: &[f64]) -> Vec<f64> {
     assert_eq!(demands.len(), weights.len(), "length mismatch");
-    assert!(
-        weights.iter().all(|w| *w > 0.0),
-        "weights must be positive"
-    );
+    assert!(weights.iter().all(|w| *w > 0.0), "weights must be positive");
     let n = demands.len();
     if n == 0 {
         return Vec::new();

@@ -178,7 +178,8 @@ impl Cluster {
         let container = Container::new(id, spec, node_id, now);
         self.nodes[node_idx].place(id);
         self.containers.insert(id, container);
-        self.events.push((now, ContainerEvent::Created(id, node_id)));
+        self.events
+            .push((now, ContainerEvent::Created(id, node_id)));
         Ok(id)
     }
 
@@ -255,8 +256,14 @@ mod tests {
 
     fn small_cluster() -> Cluster {
         Cluster::new(vec![
-            NodeSpec { cores: 4, mem_bytes: 8 << 30 },
-            NodeSpec { cores: 4, mem_bytes: 8 << 30 },
+            NodeSpec {
+                cores: 4,
+                mem_bytes: 8 << 30,
+            },
+            NodeSpec {
+                cores: 4,
+                mem_bytes: 8 << 30,
+            },
         ])
     }
 
@@ -288,7 +295,10 @@ mod tests {
     #[test]
     fn empty_cluster_errors() {
         let mut cl = Cluster::new(vec![]);
-        assert_eq!(cl.deploy(spec("x"), SimTime::ZERO), Err(ClusterError::NoNodes));
+        assert_eq!(
+            cl.deploy(spec("x"), SimTime::ZERO),
+            Err(ClusterError::NoNodes)
+        );
     }
 
     #[test]

@@ -189,7 +189,9 @@ impl Container {
         self.oom_kills += 1;
         self.restarts += 1;
         self.mem.reset_usage();
-        let charged = self.mem.try_charge(self.spec.base_mem_bytes.min(self.mem.limit_bytes()));
+        let charged = self
+            .mem
+            .try_charge(self.spec.base_mem_bytes.min(self.mem.limit_bytes()));
         debug_assert!(charged.is_charged());
         self.state = ContainerState::Starting {
             ready_at: now + self.spec.restart_delay,

@@ -84,7 +84,13 @@ mod tests {
 
     #[test]
     fn capacity_math() {
-        let n = Node::new(NodeId::new(0), NodeSpec { cores: 4, mem_bytes: 1 << 30 });
+        let n = Node::new(
+            NodeId::new(0),
+            NodeSpec {
+                cores: 4,
+                mem_bytes: 1 << 30,
+            },
+        );
         assert_eq!(n.cpu_capacity_us(100_000), 400_000.0);
     }
 

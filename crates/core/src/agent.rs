@@ -8,6 +8,7 @@
 use crate::telemetry::ToAgent;
 use escra_cluster::{Cluster, ContainerId, NodeId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Result of one reclamation sweep entry: the container's limit after the
 /// shrink and the bytes reclaimed (ψ).
@@ -26,24 +27,41 @@ pub struct ReclaimEntry {
 pub enum AgentReport {
     /// A limit update was applied (or ignored for an unknown/dead container).
     Applied,
+    /// The command's sequence number did not advance past the last one
+    /// applied for that container — a duplicated or reordered delivery
+    /// — so it was discarded.
+    Stale,
     /// A reclamation sweep finished with these per-container results.
     Reclaimed(Vec<ReclaimEntry>),
 }
 
 /// The per-node agent process.
 ///
-/// The agent is stateless between commands; it owns no containers, only a
-/// node identity, and manipulates cgroups through the cluster — mirroring
-/// how the real agent issues the custom syscalls on its host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The agent owns no containers, only a node identity, and manipulates
+/// cgroups through the cluster — mirroring how the real agent issues the
+/// custom syscalls on its host. It does keep one piece of state per
+/// container: the highest command sequence number applied so far, so
+/// that a faulty network delivering commands late, twice, or out of
+/// order can never roll a limit back to an older value.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Agent {
     node: NodeId,
+    cpu_seq: BTreeMap<ContainerId, u64>,
+    mem_seq: BTreeMap<ContainerId, u64>,
+    stale_discarded: u64,
+    valve_clamps: u64,
 }
 
 impl Agent {
     /// Creates the agent for `node`.
     pub fn new(node: NodeId) -> Self {
-        Agent { node }
+        Agent {
+            node,
+            cpu_seq: BTreeMap::new(),
+            mem_seq: BTreeMap::new(),
+            stale_discarded: 0,
+            valve_clamps: 0,
+        }
     }
 
     /// The node this agent manages.
@@ -51,16 +69,37 @@ impl Agent {
         self.node
     }
 
+    /// Number of commands discarded as stale (duplicate or reordered).
+    pub fn stale_discarded(&self) -> u64 {
+        self.stale_discarded
+    }
+
+    /// Number of memory-limit updates clamped up by the safety valve.
+    pub fn valve_clamps(&self) -> u64 {
+        self.valve_clamps
+    }
+
+    /// Whether `seq` is not newer than the last applied entry in `map`.
+    fn is_stale(map: &BTreeMap<ContainerId, u64>, container: ContainerId, seq: u64) -> bool {
+        map.get(&container).is_some_and(|&last| seq <= last)
+    }
+
     /// Applies a Controller command to this node's containers.
     ///
     /// Commands addressed to containers that no longer exist are ignored
     /// (they may have been terminated while the RPC was in flight).
-    pub fn apply(&self, cluster: &mut Cluster, cmd: ToAgent) -> AgentReport {
+    pub fn apply(&mut self, cluster: &mut Cluster, cmd: ToAgent) -> AgentReport {
         match cmd {
             ToAgent::SetCpuQuota {
                 container,
                 quota_cores,
+                seq,
             } => {
+                if Self::is_stale(&self.cpu_seq, container, seq) {
+                    self.stale_discarded += 1;
+                    return AgentReport::Stale;
+                }
+                self.cpu_seq.insert(container, seq);
                 if let Some(c) = cluster.container_mut(container) {
                     if c.node() == self.node {
                         c.cpu.set_quota_cores(quota_cores);
@@ -71,10 +110,26 @@ impl Agent {
             ToAgent::SetMemLimit {
                 container,
                 limit_bytes,
+                seq,
             } => {
+                if Self::is_stale(&self.mem_seq, container, seq) {
+                    self.stale_discarded += 1;
+                    return AgentReport::Stale;
+                }
+                self.mem_seq.insert(container, seq);
                 if let Some(c) = cluster.container_mut(container) {
                     if c.node() == self.node {
-                        c.mem.set_limit_bytes(limit_bytes.max(1));
+                        // Safety valve: when the Controller is cut off it
+                        // may act on a stale picture and ask for a limit
+                        // below what the container already uses. Applying
+                        // that verbatim would OOM-kill on the spot, so
+                        // the agent never shrinks below live usage — the
+                        // next reconciliation re-synchronises the books.
+                        let usage = c.mem.usage_bytes();
+                        if limit_bytes < usage {
+                            self.valve_clamps += 1;
+                        }
+                        c.mem.set_limit_bytes(limit_bytes.max(usage).max(1));
                     }
                 }
                 AgentReport::Applied
@@ -137,12 +192,13 @@ mod tests {
     #[test]
     fn sets_cpu_quota_without_restart() {
         let (mut cl, a, _) = cluster_with_two();
-        let agent = Agent::new(NodeId::new(0));
+        let mut agent = Agent::new(NodeId::new(0));
         let report = agent.apply(
             &mut cl,
             ToAgent::SetCpuQuota {
                 container: a,
                 quota_cores: 3.5,
+                seq: 1,
             },
         );
         assert_eq!(report, AgentReport::Applied);
@@ -153,18 +209,25 @@ mod tests {
     #[test]
     fn ignores_other_nodes_containers() {
         let mut cl = Cluster::new(vec![
-            NodeSpec { cores: 4, mem_bytes: 8 << 30 },
-            NodeSpec { cores: 4, mem_bytes: 8 << 30 },
+            NodeSpec {
+                cores: 4,
+                mem_bytes: 8 << 30,
+            },
+            NodeSpec {
+                cores: 4,
+                mem_bytes: 8 << 30,
+            },
         ]);
         let a = cl
             .deploy(ContainerSpec::new("a", AppId::new(0)), SimTime::ZERO)
             .unwrap(); // node 0
-        let wrong_agent = Agent::new(NodeId::new(1));
+        let mut wrong_agent = Agent::new(NodeId::new(1));
         wrong_agent.apply(
             &mut cl,
             ToAgent::SetCpuQuota {
                 container: a,
                 quota_cores: 9.0,
+                seq: 1,
             },
         );
         assert_eq!(cl.container(a).unwrap().cpu.quota_cores(), 1.0);
@@ -176,7 +239,7 @@ mod tests {
         // a: usage 64 MiB, limit 256 -> shrink to 64+50=114, ψ=142.
         // b: bump usage to 240 -> 240+50 > 256, untouched.
         cl.container_mut(b).unwrap().mem.try_charge(176 * MIB);
-        let agent = Agent::new(NodeId::new(0));
+        let mut agent = Agent::new(NodeId::new(0));
         let report = agent.apply(
             &mut cl,
             ToAgent::ReclaimMemory {
@@ -197,7 +260,10 @@ mod tests {
 
     #[test]
     fn reclaim_skips_starting_containers() {
-        let mut cl = Cluster::new(vec![NodeSpec { cores: 4, mem_bytes: 8 << 30 }]);
+        let mut cl = Cluster::new(vec![NodeSpec {
+            cores: 4,
+            mem_bytes: 8 << 30,
+        }]);
         let _a = cl
             .deploy(ContainerSpec::new("a", AppId::new(0)), SimTime::ZERO)
             .unwrap();
@@ -210,14 +276,82 @@ mod tests {
     #[test]
     fn unknown_container_update_is_ignored() {
         let (mut cl, _, _) = cluster_with_two();
-        let agent = Agent::new(NodeId::new(0));
+        let mut agent = Agent::new(NodeId::new(0));
         let report = agent.apply(
             &mut cl,
             ToAgent::SetMemLimit {
                 container: ContainerId::new(999),
                 limit_bytes: MIB,
+                seq: 1,
             },
         );
         assert_eq!(report, AgentReport::Applied);
+    }
+
+    #[test]
+    fn stale_and_duplicate_commands_are_discarded() {
+        let (mut cl, a, _) = cluster_with_two();
+        let mut agent = Agent::new(NodeId::new(0));
+        let quota = |q: f64, seq: u64| ToAgent::SetCpuQuota {
+            container: a,
+            quota_cores: q,
+            seq,
+        };
+        assert_eq!(agent.apply(&mut cl, quota(4.0, 2)), AgentReport::Applied);
+        // A reordered older command must not roll the quota back...
+        assert_eq!(agent.apply(&mut cl, quota(1.0, 1)), AgentReport::Stale);
+        // ...nor may a duplicated delivery of the same command reapply.
+        assert_eq!(agent.apply(&mut cl, quota(4.0, 2)), AgentReport::Stale);
+        assert_eq!(cl.container(a).unwrap().cpu.quota_cores(), 4.0);
+        assert_eq!(agent.stale_discarded(), 2);
+        // A genuinely newer command still applies.
+        assert_eq!(agent.apply(&mut cl, quota(2.0, 3)), AgentReport::Applied);
+        assert_eq!(cl.container(a).unwrap().cpu.quota_cores(), 2.0);
+    }
+
+    #[test]
+    fn seq_spaces_are_per_container_and_per_resource() {
+        let (mut cl, a, b) = cluster_with_two();
+        let mut agent = Agent::new(NodeId::new(0));
+        let cmd = ToAgent::SetCpuQuota {
+            container: a,
+            quota_cores: 4.0,
+            seq: 5,
+        };
+        assert_eq!(agent.apply(&mut cl, cmd), AgentReport::Applied);
+        // Same seq for a *different container* is fine...
+        let cmd = ToAgent::SetCpuQuota {
+            container: b,
+            quota_cores: 3.0,
+            seq: 5,
+        };
+        assert_eq!(agent.apply(&mut cl, cmd), AgentReport::Applied);
+        // ...and so is a lower seq for a different *resource* of `a`.
+        let cmd = ToAgent::SetMemLimit {
+            container: a,
+            limit_bytes: 300 * MIB,
+            seq: 2,
+        };
+        assert_eq!(agent.apply(&mut cl, cmd), AgentReport::Applied);
+    }
+
+    #[test]
+    fn safety_valve_never_shrinks_below_live_usage() {
+        let (mut cl, a, _) = cluster_with_two();
+        // Usage is 64 MiB; a cut-off Controller asks for a 32 MiB limit.
+        let mut agent = Agent::new(NodeId::new(0));
+        let report = agent.apply(
+            &mut cl,
+            ToAgent::SetMemLimit {
+                container: a,
+                limit_bytes: 32 * MIB,
+                seq: 1,
+            },
+        );
+        assert_eq!(report, AgentReport::Applied);
+        let c = cl.container(a).unwrap();
+        assert_eq!(c.mem.limit_bytes(), c.mem.usage_bytes());
+        assert!(c.is_running(), "valve must prevent the instant OOM kill");
+        assert_eq!(agent.valve_clamps(), 1);
     }
 }

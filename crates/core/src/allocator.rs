@@ -121,8 +121,10 @@ impl ResourceAllocator {
     /// Registers an application's global limits (the Deployer sends these
     /// before deploying any containers, §IV-A).
     pub fn register_app(&mut self, app: AppId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
-        self.apps
-            .insert(app, DistributedContainer::new(app, cpu_limit_cores, mem_limit_bytes));
+        self.apps.insert(
+            app,
+            DistributedContainer::new(app, cpu_limit_cores, mem_limit_bytes),
+        );
     }
 
     /// The global pool of an application.

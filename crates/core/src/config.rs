@@ -55,6 +55,13 @@ pub struct EscraConfig {
     pub min_quota_cores: f64,
     /// Floor for any container memory limit, in bytes.
     pub min_mem_bytes: u64,
+    /// How long the Controller waits for an Agent ack before re-sending
+    /// an OOM memory grant. A lost `SetMemLimit` leaves the trapped
+    /// container frozen at its old limit; the retry un-strands it.
+    pub grant_retry_timeout: SimDuration,
+    /// Re-sends of one grant before the Controller gives up and lets
+    /// the container's next OOM event drive reconciliation instead.
+    pub grant_max_retries: u32,
 }
 
 impl Default for EscraConfig {
@@ -72,6 +79,8 @@ impl Default for EscraConfig {
             max_quota_growth_factor: 1.5,
             min_quota_cores: 0.05,
             min_mem_bytes: 16 * escra_cfs::MIB,
+            grant_retry_timeout: SimDuration::from_millis(500),
+            grant_max_retries: 4,
         }
     }
 }
@@ -122,7 +131,6 @@ impl EscraConfig {
         self.delta_bytes = delta;
         self
     }
-
 }
 
 #[cfg(test)]
@@ -139,6 +147,15 @@ mod tests {
         assert_eq!(c.reclaim_interval, SimDuration::from_secs(5));
         assert_eq!(c.report_period, SimDuration::from_millis(100));
         assert_eq!(c.max_quota_growth_factor, 1.5);
+    }
+
+    #[test]
+    fn grant_retry_defaults_are_sub_second() {
+        // The whole point of the retry is sub-second recovery: a trapped
+        // container must not wait out a 5 s reclaim interval.
+        let c = EscraConfig::default();
+        assert!(c.grant_retry_timeout <= SimDuration::from_secs(1));
+        assert!(c.grant_max_retries >= 1);
     }
 
     #[test]

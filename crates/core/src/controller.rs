@@ -18,7 +18,7 @@ use crate::telemetry::{ToAgent, ToController};
 use escra_cluster::{AppId, ContainerId, NodeId};
 use escra_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An effect the Controller wants carried out.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +56,24 @@ pub struct ControllerStats {
     pub reclaim_sweeps: u64,
     /// Total ψ bytes returned by sweeps.
     pub reclaimed_bytes: u64,
+    /// Memory grants re-sent because no ack arrived in time.
+    pub grant_retries: u64,
+    /// Tracked limits re-sent because an OOM event revealed the
+    /// container was running with an older (lower) limit.
+    pub grant_reconciles: u64,
+    /// Pending grants dropped after exhausting their retries.
+    pub grants_abandoned: u64,
+}
+
+/// A memory grant the Controller sent but has not yet seen acked. If the
+/// `SetMemLimit` is lost, the trapped container stays frozen at its old
+/// limit — so unacked grants are re-sent on a timeout rather than
+/// stranding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingGrant {
+    seq: u64,
+    sent_at: SimTime,
+    retries: u32,
 }
 
 /// The logically centralized Escra Controller.
@@ -66,6 +84,11 @@ pub struct Controller {
     next_reclaim_at: SimTime,
     /// OOMs waiting for a reclamation sweep to finish.
     pending_ooms: Vec<(ContainerId, u64)>,
+    /// Monotonic sequence stamped on every outgoing limit command, so
+    /// Agents can discard duplicated/reordered deliveries.
+    next_seq: u64,
+    /// OOM grants awaiting an Agent ack.
+    pending_mem_grants: BTreeMap<ContainerId, PendingGrant>,
     stats: ControllerStats,
 }
 
@@ -78,7 +101,42 @@ impl Controller {
             nodes: BTreeSet::new(),
             next_reclaim_at: first_reclaim,
             pending_ooms: Vec::new(),
+            next_seq: 0,
+            pending_mem_grants: BTreeMap::new(),
             stats: ControllerStats::default(),
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Builds a `SetMemLimit` for an OOM grant and records it as pending
+    /// until the Agent acks it.
+    fn mem_grant_action(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        container: ContainerId,
+        limit_bytes: u64,
+    ) -> Action {
+        let seq = self.next_seq();
+        self.pending_mem_grants.insert(
+            container,
+            PendingGrant {
+                seq,
+                sent_at: now,
+                retries: 0,
+            },
+        );
+        Action::Agent {
+            node,
+            cmd: ToAgent::SetMemLimit {
+                container,
+                limit_bytes,
+                seq,
+            },
         }
     }
 
@@ -92,10 +150,16 @@ impl Controller {
         self.stats
     }
 
+    /// Number of memory grants still awaiting an Agent ack.
+    pub fn pending_grant_count(&self) -> usize {
+        self.pending_mem_grants.len()
+    }
+
     /// Registers an application's global limits (sent by the Deployer
     /// before any container deploys).
     pub fn register_app(&mut self, app: AppId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
-        self.allocator.register_app(app, cpu_limit_cores, mem_limit_bytes);
+        self.allocator
+            .register_app(app, cpu_limit_cores, mem_limit_bytes);
     }
 
     /// Registers a container with initial limits; returns the Agent
@@ -113,15 +177,22 @@ impl Controller {
         initial_mem_bytes: u64,
     ) -> Result<Vec<Action>, AllocatorError> {
         self.nodes.insert(node);
-        let (cpu, mem) =
-            self.allocator
-                .register_container(container, app, node, initial_cpu_cores, initial_mem_bytes)?;
+        let (cpu, mem) = self.allocator.register_container(
+            container,
+            app,
+            node,
+            initial_cpu_cores,
+            initial_mem_bytes,
+        )?;
+        let cpu_seq = self.next_seq();
+        let mem_seq = self.next_seq();
         Ok(vec![
             Action::Agent {
                 node,
                 cmd: ToAgent::SetCpuQuota {
                     container,
                     quota_cores: cpu,
+                    seq: cpu_seq,
                 },
             },
             Action::Agent {
@@ -129,6 +200,7 @@ impl Controller {
                 cmd: ToAgent::SetMemLimit {
                     container,
                     limit_bytes: mem,
+                    seq: mem_seq,
                 },
             },
         ])
@@ -142,6 +214,7 @@ impl Controller {
     /// Propagates [`AllocatorError::UnknownContainer`].
     pub fn deregister_container(&mut self, container: ContainerId) -> Result<(), AllocatorError> {
         self.pending_ooms.retain(|(c, _)| *c != container);
+        self.pending_mem_grants.remove(&container);
         self.allocator.deregister_container(container)
     }
 
@@ -150,7 +223,7 @@ impl Controller {
     /// Unknown containers are ignored (they may have deregistered while
     /// the message was in flight) — the Controller must not crash on
     /// stale telemetry.
-    pub fn handle(&mut self, _now: SimTime, msg: ToController) -> Vec<Action> {
+    pub fn handle(&mut self, now: SimTime, msg: ToController) -> Vec<Action> {
         match msg {
             ToController::Register {
                 container,
@@ -166,7 +239,9 @@ impl Controller {
             ToController::CpuStats { container, stats } => {
                 self.stats.cpu_stats_ingested += 1;
                 match self.allocator.on_cpu_stats(container, stats) {
-                    Ok(decision @ (CpuDecision::ScaleUp { .. } | CpuDecision::ScaleDown { .. })) => {
+                    Ok(
+                        decision @ (CpuDecision::ScaleUp { .. } | CpuDecision::ScaleDown { .. }),
+                    ) => {
                         let new_quota_cores = match decision {
                             CpuDecision::ScaleUp { new_quota_cores } => {
                                 self.stats.scale_ups += 1;
@@ -180,13 +255,17 @@ impl Controller {
                         };
                         self.stats.quota_updates += 1;
                         match self.allocator.node_of(container) {
-                            Some(node) => vec![Action::Agent {
-                                node,
-                                cmd: ToAgent::SetCpuQuota {
-                                    container,
-                                    quota_cores: new_quota_cores,
-                                },
-                            }],
+                            Some(node) => {
+                                let seq = self.next_seq();
+                                vec![Action::Agent {
+                                    node,
+                                    cmd: ToAgent::SetCpuQuota {
+                                        container,
+                                        quota_cores: new_quota_cores,
+                                        seq,
+                                    },
+                                }]
+                            }
                             None => Vec::new(),
                         }
                     }
@@ -196,39 +275,129 @@ impl Controller {
             ToController::OomEvent {
                 container,
                 shortfall_bytes,
-            } => match self.allocator.on_oom(container, shortfall_bytes) {
-                Ok(OomDecision::Grant { new_limit_bytes }) => {
-                    self.stats.mem_grants += 1;
-                    self.stats.ooms_absorbed += 1;
-                    match self.allocator.node_of(container) {
-                        Some(node) => vec![Action::Agent {
-                            node,
-                            cmd: ToAgent::SetMemLimit {
-                                container,
-                                limit_bytes: new_limit_bytes,
-                            },
-                        }],
-                        None => Vec::new(),
+                current_limit_bytes,
+            } => {
+                // Reconcile first: if our books say the container should
+                // already be above the limit it reports, the grant that
+                // raised it was lost in flight. Re-send the tracked limit
+                // (no new pool allocation — the bytes are already
+                // charged) instead of granting on top of stale state.
+                if let (Some(tracked), Some(node)) = (
+                    self.allocator.mem_limit_of(container),
+                    self.allocator.node_of(container),
+                ) {
+                    if tracked > current_limit_bytes {
+                        self.stats.grant_reconciles += 1;
+                        let action = self.mem_grant_action(now, node, container, tracked);
+                        return vec![action];
                     }
                 }
-                Ok(OomDecision::NeedReclaim) => {
-                    self.pending_ooms.push((container, shortfall_bytes));
-                    self.launch_reclaim()
+                match self.allocator.on_oom(container, shortfall_bytes) {
+                    Ok(OomDecision::Grant { new_limit_bytes }) => {
+                        self.stats.mem_grants += 1;
+                        self.stats.ooms_absorbed += 1;
+                        match self.allocator.node_of(container) {
+                            Some(node) => {
+                                let action =
+                                    self.mem_grant_action(now, node, container, new_limit_bytes);
+                                vec![action]
+                            }
+                            None => Vec::new(),
+                        }
+                    }
+                    Ok(OomDecision::NeedReclaim) => {
+                        self.pending_ooms.push((container, shortfall_bytes));
+                        self.launch_reclaim()
+                    }
+                    Ok(OomDecision::Kill) | Err(_) => Vec::new(),
                 }
-                Ok(OomDecision::Kill) | Err(_) => Vec::new(),
-            },
+            }
+            ToController::LimitAck { container, seq } => {
+                if let Some(pending) = self.pending_mem_grants.get(&container) {
+                    if pending.seq <= seq {
+                        self.pending_mem_grants.remove(&container);
+                    }
+                }
+                Vec::new()
+            }
         }
     }
 
     /// Periodic work: launches the proactive reclamation loop every
-    /// `reclaim_interval` (paper: 5 s).
+    /// `reclaim_interval` (paper: 5 s) and re-sends memory grants whose
+    /// ack is overdue.
     pub fn tick(&mut self, now: SimTime) -> Vec<Action> {
+        let mut actions = self.retry_stale_grants(now);
         if now >= self.next_reclaim_at {
-            self.next_reclaim_at = now + self.allocator.config().reclaim_interval;
-            self.launch_reclaim()
-        } else {
-            Vec::new()
+            // Advance from the *scheduled* time, not from `now`:
+            // rescheduling off the observed tick made every late tick
+            // push all later sweeps back, so a coarse tick grid ran
+            // fewer sweeps per hour than configured. If the embedding
+            // stalled for several intervals, collapse the backlog into
+            // one sweep rather than bursting.
+            let interval = self.allocator.config().reclaim_interval;
+            while self.next_reclaim_at <= now {
+                self.next_reclaim_at += interval;
+            }
+            actions.extend(self.launch_reclaim());
         }
+        actions
+    }
+
+    /// Re-sends unacked memory grants past the retry timeout. After
+    /// `grant_max_retries` unanswered re-sends the grant is abandoned:
+    /// the books already carry the bytes, so if the container is still
+    /// alive its next OOM event will reconcile against the tracked limit.
+    fn retry_stale_grants(&mut self, now: SimTime) -> Vec<Action> {
+        let timeout = self.allocator.config().grant_retry_timeout;
+        let max_retries = self.allocator.config().grant_max_retries;
+        let due: Vec<ContainerId> = self
+            .pending_mem_grants
+            .iter()
+            .filter(|(_, g)| now >= g.sent_at + timeout)
+            .map(|(c, _)| *c)
+            .collect();
+        let mut actions = Vec::new();
+        for container in due {
+            let Some(grant) = self.pending_mem_grants.get(&container).copied() else {
+                continue;
+            };
+            // Re-send the *currently tracked* limit, not the one the
+            // original grant carried: a reclamation sweep may have moved
+            // the books since, and the books are authoritative.
+            let target = (
+                self.allocator.mem_limit_of(container),
+                self.allocator.node_of(container),
+            );
+            let (Some(limit), Some(node)) = target else {
+                self.pending_mem_grants.remove(&container);
+                continue;
+            };
+            if grant.retries >= max_retries {
+                self.pending_mem_grants.remove(&container);
+                self.stats.grants_abandoned += 1;
+                continue;
+            }
+            self.stats.grant_retries += 1;
+            let seq = self.next_seq();
+            self.pending_mem_grants.insert(
+                container,
+                PendingGrant {
+                    seq,
+                    sent_at: now,
+                    retries: grant.retries + 1,
+                },
+            );
+            actions.push(Action::Agent {
+                node,
+                cmd: ToAgent::SetMemLimit {
+                    container,
+                    limit_bytes: limit,
+                    seq,
+                },
+            });
+        }
+        actions
     }
 
     fn launch_reclaim(&mut self) -> Vec<Action> {
@@ -245,11 +414,7 @@ impl Controller {
 
     /// Ingests an Agent's reclamation report: credits ψ back to the pools
     /// and retries any pending OOMs (grant or kill).
-    pub fn on_reclaim_report(
-        &mut self,
-        _now: SimTime,
-        entries: &[ReclaimEntry],
-    ) -> Vec<Action> {
+    pub fn on_reclaim_report(&mut self, now: SimTime, entries: &[ReclaimEntry]) -> Vec<Action> {
         for e in entries {
             if let Ok(psi) = self.allocator.apply_reclaim(e.container, e.new_limit_bytes) {
                 self.stats.reclaimed_bytes += psi;
@@ -263,13 +428,7 @@ impl Controller {
                     self.stats.mem_grants += 1;
                     self.stats.ooms_absorbed += 1;
                     if let Some(node) = self.allocator.node_of(container) {
-                        actions.push(Action::Agent {
-                            node,
-                            cmd: ToAgent::SetMemLimit {
-                                container,
-                                limit_bytes: new_limit_bytes,
-                            },
-                        });
+                        actions.push(self.mem_grant_action(now, node, container, new_limit_bytes));
                     }
                 }
                 Ok(OomDecision::Kill) => {
@@ -327,7 +486,12 @@ mod tests {
         match actions[0] {
             Action::Agent {
                 node,
-                cmd: ToAgent::SetCpuQuota { container, quota_cores },
+                cmd:
+                    ToAgent::SetCpuQuota {
+                        container,
+                        quota_cores,
+                        ..
+                    },
             } => {
                 assert_eq!(node, N0);
                 assert_eq!(container, C0);
@@ -347,6 +511,7 @@ mod tests {
             ToController::OomEvent {
                 container: C0,
                 shortfall_bytes: MIB,
+                current_limit_bytes: 256 * MIB,
             },
         );
         assert!(matches!(
@@ -358,6 +523,8 @@ mod tests {
         ));
         assert_eq!(c.stats().ooms_absorbed, 1);
         assert_eq!(c.stats().ooms_fatal, 0);
+        // The grant is tracked until the Agent acks it.
+        assert_eq!(c.pending_grant_count(), 1);
     }
 
     #[test]
@@ -370,6 +537,7 @@ mod tests {
             ToController::OomEvent {
                 container: C0,
                 shortfall_bytes: 64 * MIB,
+                current_limit_bytes: 256 * MIB,
             },
         );
         // Pool empty -> reclamation sweep to the (single) node.
@@ -399,6 +567,7 @@ mod tests {
             ToController::OomEvent {
                 container: C0,
                 shortfall_bytes: 16 * MIB,
+                current_limit_bytes: 256 * MIB,
             },
         );
         // Agent reclaimed 100 MiB from c1.
@@ -434,6 +603,33 @@ mod tests {
     }
 
     #[test]
+    fn coarse_tick_grid_does_not_drift_the_reclaim_schedule() {
+        // Interval is 5 s but the embedding only ticks every 3 s. Each
+        // sweep fires at the first tick past its scheduled time, and the
+        // schedule stays anchored at 5 s multiples: sweeps land at
+        // t = 6, 12, 15, 21, 27, 30 — six sweeps in 30 s. The old
+        // `next = now + interval` rescheduling drifted the anchor to the
+        // tick time and lost one sweep over the same horizon.
+        let mut c = controller_with_one();
+        for step in 1..=10u64 {
+            c.tick(SimTime::from_secs(3 * step));
+        }
+        assert_eq!(c.stats().reclaim_sweeps, 6);
+    }
+
+    #[test]
+    fn stalled_embedding_catches_up_with_one_sweep() {
+        let mut c = controller_with_one();
+        // No ticks for 23 s (4 missed deadlines): one catch-up sweep,
+        // and the schedule resumes at the next 5 s multiple.
+        let actions = c.tick(SimTime::from_secs(23));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(c.stats().reclaim_sweeps, 1);
+        assert!(c.tick(SimTime::from_secs(24)).is_empty());
+        assert_eq!(c.tick(SimTime::from_secs(25)).len(), 1);
+    }
+
+    #[test]
     fn stale_telemetry_is_ignored() {
         let mut c = controller_with_one();
         let ghost = ContainerId::new(42);
@@ -457,11 +653,136 @@ mod tests {
             ToController::OomEvent {
                 container: C0,
                 shortfall_bytes: MIB,
+                current_limit_bytes: 256 * MIB,
             },
         );
         c.deregister_container(C0).unwrap();
         // Pending OOM was dropped with the container; report is a no-op.
         let actions = c.on_reclaim_report(SimTime::ZERO, &[]);
         assert!(actions.is_empty());
+    }
+
+    /// Raises one OOM grant and returns (controller, granted limit, seq).
+    fn controller_with_unacked_grant() -> (Controller, u64, u64) {
+        let mut c = controller_with_one();
+        let actions = c.handle(
+            SimTime::ZERO,
+            ToController::OomEvent {
+                container: C0,
+                shortfall_bytes: MIB,
+                current_limit_bytes: 256 * MIB,
+            },
+        );
+        match actions[0] {
+            Action::Agent {
+                cmd:
+                    ToAgent::SetMemLimit {
+                        limit_bytes, seq, ..
+                    },
+                ..
+            } => (c, limit_bytes, seq),
+            ref other => panic!("expected a grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_ack_clears_the_pending_grant() {
+        let (mut c, _, seq) = controller_with_unacked_grant();
+        c.handle(
+            SimTime::from_millis(1),
+            ToController::LimitAck { container: C0, seq },
+        );
+        assert_eq!(c.pending_grant_count(), 0);
+        // No ack, no retry traffic.
+        assert!(c.tick(SimTime::from_secs(1)).is_empty());
+        assert_eq!(c.stats().grant_retries, 0);
+    }
+
+    #[test]
+    fn unacked_grant_is_resent_after_the_timeout() {
+        let (mut c, granted, seq) = controller_with_unacked_grant();
+        // Before the timeout: silence.
+        assert!(c.tick(SimTime::from_millis(400)).is_empty());
+        // After: the tracked limit goes out again under a fresh seq.
+        let actions = c.tick(SimTime::from_millis(600));
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            Action::Agent {
+                cmd:
+                    ToAgent::SetMemLimit {
+                        container,
+                        limit_bytes,
+                        seq: retry_seq,
+                    },
+                ..
+            } => {
+                assert_eq!(container, C0);
+                assert_eq!(limit_bytes, granted);
+                assert!(retry_seq > seq, "retry must carry a newer seq");
+            }
+            ref other => panic!("expected a re-sent grant, got {other:?}"),
+        }
+        assert_eq!(c.stats().grant_retries, 1);
+        // A late ack for the *old* seq must not clear the newer retry...
+        c.handle(
+            SimTime::from_millis(700),
+            ToController::LimitAck { container: C0, seq },
+        );
+        assert_eq!(c.pending_grant_count(), 1);
+    }
+
+    #[test]
+    fn grant_is_abandoned_after_max_retries() {
+        let (mut c, _, _) = controller_with_unacked_grant();
+        let max = c.allocator().config().grant_max_retries;
+        let mut retries_seen = 0;
+        for step in 1..20u64 {
+            // Tick on a grid coarser than the timeout so each tick is
+            // eligible to retry; never ack.
+            let actions = c.tick(SimTime::from_millis(600 * step));
+            retries_seen += actions
+                .iter()
+                .filter(|a| {
+                    matches!(
+                        a,
+                        Action::Agent {
+                            cmd: ToAgent::SetMemLimit { .. },
+                            ..
+                        }
+                    )
+                })
+                .count() as u32;
+        }
+        assert_eq!(retries_seen, max);
+        assert_eq!(c.pending_grant_count(), 0);
+        assert_eq!(c.stats().grants_abandoned, 1);
+    }
+
+    #[test]
+    fn oom_with_stale_limit_reconciles_instead_of_regranting() {
+        let mut c = controller_with_one();
+        let tracked = c.allocator().mem_limit_of(C0).unwrap();
+        // The container reports a limit *below* the books: the grant that
+        // raised it was lost. The Controller re-sends the tracked limit
+        // without touching the pool.
+        let actions = c.handle(
+            SimTime::ZERO,
+            ToController::OomEvent {
+                container: C0,
+                shortfall_bytes: MIB,
+                current_limit_bytes: tracked / 2,
+            },
+        );
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            Action::Agent {
+                cmd: ToAgent::SetMemLimit { limit_bytes, .. },
+                ..
+            } => assert_eq!(limit_bytes, tracked),
+            ref other => panic!("expected reconciling SetMemLimit, got {other:?}"),
+        }
+        assert_eq!(c.stats().grant_reconciles, 1);
+        assert_eq!(c.stats().mem_grants, 0, "no new pool allocation");
+        assert_eq!(c.allocator().mem_limit_of(C0).unwrap(), tracked);
     }
 }

@@ -89,9 +89,7 @@ pub fn deploy_app(
         spec.mem_limit_bytes = mem;
         let id = cluster.deploy(spec, now)?;
         let node = cluster.container(id).expect("just deployed").node();
-        if let Ok(mut acts) =
-            controller.register_container(id, config.app, node, cpu_init, mem)
-        {
+        if let Ok(mut acts) = controller.register_container(id, config.app, node, cpu_init, mem) {
             actions.append(&mut acts);
         }
         ids.push(id);
@@ -131,8 +129,14 @@ mod tests {
             mem_bytes: 32 << 30,
         }]);
         let mut controller = Controller::new(cfg.clone());
-        let (ids, actions) =
-            deploy_app(&cfg, &config(4), &mut cluster, &mut controller, SimTime::ZERO).unwrap();
+        let (ids, actions) = deploy_app(
+            &cfg,
+            &config(4),
+            &mut cluster,
+            &mut controller,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert_eq!(ids.len(), 4);
         assert_eq!(actions.len(), 8); // quota + mem per container
         assert_eq!(controller.allocator().container_count(), 4);

@@ -88,7 +88,8 @@ impl DistributedContainer {
 
     /// Unallocated memory available for OOM grants.
     pub fn unallocated_mem_bytes(&self) -> u64 {
-        self.mem_limit_bytes.saturating_sub(self.allocated_mem_bytes)
+        self.mem_limit_bytes
+            .saturating_sub(self.allocated_mem_bytes)
     }
 
     /// Allocates up to `cores` from the pool; returns the amount granted

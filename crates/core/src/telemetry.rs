@@ -53,6 +53,22 @@ pub enum ToController {
         container: ContainerId,
         /// Bytes by which the charge exceeds the current limit.
         shortfall_bytes: u64,
+        /// The limit the container is actually running with. Lets the
+        /// Controller detect a lost grant: if its tracked limit exceeds
+        /// this, the last `SetMemLimit` never arrived and must be
+        /// resent.
+        current_limit_bytes: u64,
+    },
+    /// Agent acknowledgement that a `SetMemLimit` was applied.
+    ///
+    /// On the real control plane this is the gRPC response of the
+    /// limit-update call, not a separate message — so its wire size is
+    /// zero (the response is priced into [`LIMIT_UPDATE_WIRE_BYTES`]).
+    LimitAck {
+        /// The container whose limit was set.
+        container: ContainerId,
+        /// Sequence number of the applied `SetMemLimit`.
+        seq: u64,
     },
 }
 
@@ -63,6 +79,8 @@ impl ToController {
             ToController::Register { .. } => REGISTER_WIRE_BYTES,
             ToController::CpuStats { .. } => CPU_STATS_WIRE_BYTES,
             ToController::OomEvent { .. } => OOM_EVENT_WIRE_BYTES,
+            // Already charged as part of the update RPC pair.
+            ToController::LimitAck { .. } => 0,
         }
     }
 }
@@ -76,6 +94,10 @@ pub enum ToAgent {
         container: ContainerId,
         /// New quota in cores.
         quota_cores: f64,
+        /// Controller-issued sequence number; Agents discard commands
+        /// whose `seq` does not advance past the last applied one, so
+        /// duplicated or reordered deliveries cannot roll a limit back.
+        seq: u64,
     },
     /// Set a container's memory limit (scale-up grant).
     SetMemLimit {
@@ -83,6 +105,9 @@ pub enum ToAgent {
         container: ContainerId,
         /// New limit in bytes.
         limit_bytes: u64,
+        /// Controller-issued sequence number (see
+        /// [`ToAgent::SetCpuQuota`]).
+        seq: u64,
     },
     /// Run a reclamation sweep over every container on the Agent's node
     /// with safe margin δ; the Agent reports back total ψ.
@@ -128,11 +153,33 @@ mod tests {
         let quota = ToAgent::SetCpuQuota {
             container: ContainerId::new(0),
             quota_cores: 1.0,
+            seq: 1,
         };
         assert_eq!(quota.wire_bytes(), LIMIT_UPDATE_WIRE_BYTES);
         assert_eq!(
             ToAgent::ReclaimMemory { delta_bytes: 1 }.wire_bytes(),
             RECLAIM_RPC_WIRE_BYTES
         );
+    }
+
+    #[test]
+    fn limit_ack_rides_the_update_rpc_for_free() {
+        // The ack is the gRPC response of the limit update; charging it
+        // separately would double-count the §VI-I overhead numbers.
+        let ack = ToController::LimitAck {
+            container: ContainerId::new(3),
+            seq: 7,
+        };
+        assert_eq!(ack.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn oom_event_reports_the_live_limit() {
+        let ev = ToController::OomEvent {
+            container: ContainerId::new(1),
+            shortfall_bytes: 4096,
+            current_limit_bytes: 1 << 20,
+        };
+        assert_eq!(ev.wire_bytes(), OOM_EVENT_WIRE_BYTES);
     }
 }

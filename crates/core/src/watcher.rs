@@ -151,7 +151,9 @@ mod tests {
             .app_pool(APP)
             .expect("app")
             .unallocated_cpu_cores();
-        cluster.terminate(id, SimTime::from_secs(1)).expect("terminate");
+        cluster
+            .terminate(id, SimTime::from_secs(1))
+            .expect("terminate");
         watcher.sync(&mut cluster, &mut controller);
         assert_eq!(watcher.registered_count(), 0);
         assert_eq!(controller.allocator().container_count(), 0);

@@ -21,5 +21,7 @@ pub mod queueing;
 pub mod serverless_sim;
 pub mod tracking;
 
-pub use microsim::{profile_run, run, run_with_profiles, MicroSimConfig, MicroSimOutput};
+pub use microsim::{
+    controller_addr, node_addr, profile_run, run, run_with_profiles, MicroSimConfig, MicroSimOutput,
+};
 pub use policy::Policy;

@@ -26,15 +26,15 @@ use escra_baselines::{
     VpaScaler,
 };
 use escra_cfs::{node::arbitrate, ChargeOutcome, MIB};
-use escra_cluster::{Cluster, ContainerId, ContainerSpec, NodeSpec};
-use escra_core::telemetry::{
-    ToController, CPU_STATS_WIRE_BYTES, LIMIT_UPDATE_WIRE_BYTES, OOM_EVENT_WIRE_BYTES,
-    RECLAIM_RPC_WIRE_BYTES,
-};
-use escra_core::{deploy_app, Action, Agent, AgentReport, AppConfig, Controller, ToAgent};
 use escra_cluster::AppId;
+use escra_cluster::{Cluster, ContainerId, ContainerSpec, NodeId, NodeSpec};
+use escra_core::telemetry::{ToController, LIMIT_UPDATE_WIRE_BYTES, RECLAIM_RPC_WIRE_BYTES};
+use escra_core::{
+    deploy_app, Action, Agent, AgentReport, AppConfig, Controller, ReclaimEntry, ToAgent,
+};
 use escra_metrics::RunMetrics;
-use escra_net::BandwidthAccountant;
+use escra_net::{Addr, BandwidthAccountant, FaultDecision, FaultInjector, FaultPlan, FaultStats};
+use escra_simcore::events::EventQueue;
 use escra_simcore::rng::SimRng;
 use escra_simcore::time::{SimDuration, SimTime};
 use escra_workloads::{MicroserviceApp, RequestGenerator, WorkloadKind};
@@ -61,6 +61,10 @@ pub struct MicroSimConfig {
     pub request_timeout: SimDuration,
     /// Length of the profiling pre-run used by baseline policies.
     pub profile_duration: SimDuration,
+    /// Faults injected into the Escra control plane (loss, duplication,
+    /// delay spikes, partitions). [`FaultPlan::none`] — the default —
+    /// reproduces the faultless run bit for bit.
+    pub faults: FaultPlan,
 }
 
 impl MicroSimConfig {
@@ -76,6 +80,7 @@ impl MicroSimConfig {
             node_cores: 20,
             request_timeout: SimDuration::from_secs(10),
             profile_duration: SimDuration::from_secs(20),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -83,6 +88,100 @@ impl MicroSimConfig {
     pub fn with_duration(mut self, d: SimDuration) -> Self {
         self.duration = d;
         self
+    }
+
+    /// Sets the control-plane fault plan (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+}
+
+/// Well-known control-plane address of the Controller.
+pub fn controller_addr() -> Addr {
+    Addr::from_raw(0)
+}
+
+/// Well-known control-plane address of the Agent on `node`.
+///
+/// Telemetry and OOM events from a container travel over its node's
+/// link, so a partition of `node_addr(n) ↔ controller_addr()` cuts off
+/// everything hosted on `n`.
+pub fn node_addr(node: NodeId) -> Addr {
+    Addr::from_raw(1 + node.as_u64())
+}
+
+/// A message in flight on the Escra control plane.
+#[derive(Debug, Clone)]
+enum Envelope {
+    /// Node → Controller (telemetry, OOM events, limit acks).
+    ToCtl(ToController),
+    /// Controller → Agent command.
+    ToNode(NodeId, ToAgent),
+    /// Agent → Controller reclamation report (the gRPC response of the
+    /// reclaim RPC; its bytes are priced into the request pair).
+    Report(Vec<ReclaimEntry>),
+}
+
+impl Envelope {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Envelope::ToCtl(msg) => msg.wire_bytes(),
+            Envelope::ToNode(_, cmd) => cmd.wire_bytes(),
+            Envelope::Report(_) => 0,
+        }
+    }
+}
+
+/// The simulated control-plane fabric between Agents and the Controller.
+///
+/// Every runtime message passes through a [`FaultInjector`]; with
+/// [`FaultPlan::none`] the injector draws no randomness and every message
+/// is delivered synchronously, which keeps faultless runs bit-identical
+/// to the pre-fault-layer simulator.
+struct ControlPlane {
+    injector: FaultInjector,
+    /// Messages hit by a delay spike, delivered once due.
+    delayed: EventQueue<Envelope>,
+    /// Messages ready for delivery now, in FIFO order.
+    ready: VecDeque<Envelope>,
+}
+
+impl ControlPlane {
+    fn new(plan: FaultPlan, seed: u64) -> Self {
+        ControlPlane {
+            injector: FaultInjector::new(plan, seed),
+            delayed: EventQueue::new(),
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Puts `env` on the wire. Bytes are charged at send time (they
+    /// leave the sender even if the fabric then drops the message).
+    fn send(
+        &mut self,
+        now: SimTime,
+        from: Addr,
+        to: Addr,
+        env: Envelope,
+        accountant: &mut BandwidthAccountant,
+    ) {
+        accountant.record(now, env.wire_bytes());
+        match self.injector.decide(now, from, to) {
+            FaultDecision::Drop => {}
+            FaultDecision::Deliver {
+                copies,
+                extra_delay,
+            } => {
+                for _ in 0..copies {
+                    if extra_delay.is_zero() {
+                        self.ready.push_back(env.clone());
+                    } else {
+                        self.delayed.push(now + extra_delay, env.clone());
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -117,6 +216,7 @@ enum Mode {
         controller: Controller,
         agents: Vec<Agent>,
         accountant: BandwidthAccountant,
+        net: ControlPlane,
     },
     /// Static limits (nothing to do at runtime).
     Static,
@@ -150,6 +250,9 @@ pub struct MicroSimOutput {
     pub network: Option<BandwidthAccountant>,
     /// Controller counters (Escra runs only).
     pub controller_stats: Option<escra_core::ControllerStats>,
+    /// What the fault injector actually did (Escra runs only; all-zero
+    /// under [`FaultPlan::none`]).
+    pub fault_stats: Option<FaultStats>,
     /// Per-container profiled peaks (profiling runs only).
     pub profiles: Vec<ContainerProfile>,
 }
@@ -303,20 +406,33 @@ impl<'a> Sim<'a> {
                         global_mem_bytes: app.global_mem_mib * MIB,
                         containers: specs,
                     };
-                    let (ids, actions) =
-                        deploy_app(ecfg, &app_config, &mut cluster, &mut controller, SimTime::ZERO)
-                            .expect("deploy app");
+                    let (ids, actions) = deploy_app(
+                        ecfg,
+                        &app_config,
+                        &mut cluster,
+                        &mut controller,
+                        SimTime::ZERO,
+                    )
+                    .expect("deploy app");
                     containers = ids;
-                    let agents: Vec<Agent> =
-                        cluster.nodes().iter().map(|nd| Agent::new(nd.id())).collect();
+                    let mut agents: Vec<Agent> = cluster
+                        .nodes()
+                        .iter()
+                        .map(|nd| Agent::new(nd.id()))
+                        .collect();
                     let mut accountant = BandwidthAccountant::new();
+                    // Deployment registration runs over per-container TCP
+                    // sockets before the workload starts; runtime faults
+                    // do not apply to it.
                     for a in &actions {
-                        apply_action(&mut cluster, &agents, a, &mut accountant, SimTime::ZERO);
+                        apply_action(&mut cluster, &mut agents, a, &mut accountant, SimTime::ZERO);
                     }
+                    let net = ControlPlane::new(cfg.faults.clone(), cfg.seed);
                     mode = Mode::Escra {
                         controller,
                         agents,
                         accountant,
+                        net,
                     };
                 }
                 Policy::Static { factor } => {
@@ -426,12 +542,17 @@ impl<'a> Sim<'a> {
         let mut chosen = None;
         for k in 0..members.len() {
             let idx = members[(start + k) % members.len()];
-            if self.cluster.container(self.containers[idx]).is_some_and(|c| c.is_running()) {
+            if self
+                .cluster
+                .container(self.containers[idx])
+                .is_some_and(|c| c.is_running())
+            {
                 chosen = Some((idx, (start + k + 1) % members.len()));
                 break;
             }
         }
-        let (idx, next_rr) = chosen.unwrap_or((members[start % members.len()], (start + 1) % members.len()));
+        let (idx, next_rr) =
+            chosen.unwrap_or((members[start % members.len()], (start + 1) % members.len()));
         self.rr[tier] = next_rr;
         self.queues[idx].push_back(StageJob {
             request,
@@ -539,9 +660,15 @@ impl<'a> Sim<'a> {
                 let mut want = Vec::with_capacity(members.len());
                 let mut pot = Vec::with_capacity(members.len());
                 for &idx in &members {
-                    let c = self.cluster.container(self.containers[idx]).expect("container");
+                    let c = self
+                        .cluster
+                        .container(self.containers[idx])
+                        .expect("container");
                     let tier = &self.cfg.app.tiers[self.tier_of[idx]];
-                    let potential = c.cpu.runtime_remaining_us().min(tier.parallelism * period_us);
+                    let potential = c
+                        .cpu
+                        .runtime_remaining_us()
+                        .min(tier.parallelism * period_us);
                     let startup_us = if t < self.warm_until[idx] {
                         tier.startup_cpu_cores * period_us
                     } else {
@@ -608,10 +735,7 @@ impl<'a> Sim<'a> {
             let mut period_stats = Vec::with_capacity(n);
             for idx in 0..n {
                 let cid = self.containers[idx];
-                let running = self
-                    .cluster
-                    .container(cid)
-                    .is_some_and(|c| c.is_running());
+                let running = self.cluster.container(cid).is_some_and(|c| c.is_running());
                 let c = self.cluster.container_mut(cid).expect("container");
                 if consumed[idx] > 0.0 {
                     c.cpu.consume(consumed[idx]);
@@ -657,7 +781,10 @@ impl<'a> Sim<'a> {
                 let mut agg_mem_limit = 0.0;
                 for idx in 0..n {
                     let usage_cores = self.usage_sec_us[idx] / 1e6;
-                    let c = self.cluster.container(self.containers[idx]).expect("container");
+                    let c = self
+                        .cluster
+                        .container(self.containers[idx])
+                        .expect("container");
                     // Time-weighted limit over the second, like the
                     // per-second aggregation of the paper's tooling.
                     let quota = self.quota_sec_us[idx] / 1e6;
@@ -714,12 +841,7 @@ impl<'a> Sim<'a> {
                     if next_second > warmup_end && second_index.is_multiple_of(*update_every_secs) {
                         let updates = scaler.recommend();
                         let restart = *restart_on_update;
-                        apply_limit_updates(
-                            &mut self.cluster,
-                            &updates,
-                            restart,
-                            next_second,
-                        );
+                        apply_limit_updates(&mut self.cluster, &updates, restart, next_second);
                         if restart {
                             for u in &updates {
                                 if u.requires_restart {
@@ -749,18 +871,24 @@ impl<'a> Sim<'a> {
                 peak_mem_bytes: self.peak_mem[idx],
             })
             .collect();
-        let (network, controller_stats) = match &self.mode {
+        let (network, controller_stats, fault_stats) = match &self.mode {
             Mode::Escra {
                 controller,
                 accountant,
+                net,
                 ..
-            } => (Some(accountant.clone()), Some(controller.stats())),
-            _ => (None, None),
+            } => (
+                Some(accountant.clone()),
+                Some(controller.stats()),
+                Some(net.injector.stats()),
+            ),
+            _ => (None, None, None),
         };
         MicroSimOutput {
             metrics: std::mem::replace(&mut self.metrics, RunMetrics::new("done")),
             network,
             controller_stats,
+            fault_stats,
             profiles,
         }
     }
@@ -769,10 +897,7 @@ impl<'a> Sim<'a> {
     /// per policy.
     fn apply_memory_target(&mut self, idx: usize, target: u64, now: SimTime) {
         let cid = self.containers[idx];
-        let is_running = self
-            .cluster
-            .container(cid)
-            .is_some_and(|c| c.is_running());
+        let is_running = self.cluster.container(cid).is_some_and(|c| c.is_running());
         if !is_running {
             return;
         }
@@ -803,31 +928,45 @@ impl<'a> Sim<'a> {
                     controller,
                     agents,
                     accountant,
+                    net,
                 } => {
-                    accountant.record(now, OOM_EVENT_WIRE_BYTES);
-                    let actions = controller.handle(
+                    let c = self.cluster.container(cid).expect("container");
+                    let node = c.node();
+                    let current_limit_bytes = c.mem.limit_bytes();
+                    net.send(
                         now,
-                        ToController::OomEvent {
+                        node_addr(node),
+                        controller_addr(),
+                        Envelope::ToCtl(ToController::OomEvent {
                             container: cid,
                             shortfall_bytes,
-                        },
+                            current_limit_bytes,
+                        }),
+                        accountant,
                     );
-                    let mut killed = false;
-                    apply_escra_actions(
+                    let mut killed: Vec<ContainerId> = Vec::new();
+                    pump_control_plane(
                         &mut self.cluster,
                         agents,
                         controller,
-                        actions,
+                        net,
                         accountant,
                         now,
                         &mut killed,
                     );
-                    if killed {
-                        self.fail_queue(idx, now);
-                        self.cache_bytes[idx] = 0.0;
-                    } else {
-                        // Limit raised: retry the charge (the paper's
-                        // "request lookup penalty" is sub-millisecond).
+                    let trapped_killed = killed.contains(&cid);
+                    for k in killed {
+                        if let Some(kidx) = self.containers.iter().position(|c| *c == k) {
+                            self.fail_queue(kidx, now);
+                            self.cache_bytes[kidx] = 0.0;
+                        }
+                    }
+                    if !trapped_killed {
+                        // Limit raised (or, under faults, the grant was
+                        // lost and the container stays trapped at the old
+                        // limit to re-OOM next period): retry the charge
+                        // (the paper's "request lookup penalty" is
+                        // sub-millisecond).
                         let _ = self
                             .cluster
                             .container_mut(cid)
@@ -870,63 +1009,74 @@ impl<'a> Sim<'a> {
             controller,
             agents,
             accountant,
+            net,
         } = &mut self.mode
         {
-            let mut killed_any: Vec<usize> = Vec::new();
+            let mut killed: Vec<ContainerId> = Vec::new();
             for (idx, (running, stats)) in period_stats.iter().enumerate() {
                 if !running {
                     continue;
                 }
-                accountant.record(now, CPU_STATS_WIRE_BYTES);
-                let actions = controller.handle(
+                let cid = self.containers[idx];
+                let node = self.cluster.container(cid).expect("container").node();
+                net.send(
                     now,
-                    ToController::CpuStats {
-                        container: self.containers[idx],
+                    node_addr(node),
+                    controller_addr(),
+                    Envelope::ToCtl(ToController::CpuStats {
+                        container: cid,
                         stats: *stats,
-                    },
+                    }),
+                    accountant,
                 );
-                let mut killed = false;
-                apply_escra_actions(
+                pump_control_plane(
                     &mut self.cluster,
                     agents,
                     controller,
-                    actions,
+                    net,
                     accountant,
                     now,
                     &mut killed,
                 );
-                if killed {
-                    killed_any.push(idx);
-                }
             }
-            // Periodic reclamation loop.
+            // Periodic reclamation loop + grant-retry timers.
             let actions = controller.tick(now);
-            let mut killed = false;
-            apply_escra_actions(
-                &mut self.cluster,
-                agents,
-                controller,
+            dispatch_actions(
                 actions,
+                &mut self.cluster,
+                net,
                 accountant,
                 now,
                 &mut killed,
             );
-            for idx in killed_any {
-                self.fail_queue(idx, now);
-                self.cache_bytes[idx] = 0.0;
+            pump_control_plane(
+                &mut self.cluster,
+                agents,
+                controller,
+                net,
+                accountant,
+                now,
+                &mut killed,
+            );
+            for k in killed {
+                if let Some(idx) = self.containers.iter().position(|c| *c == k) {
+                    self.fail_queue(idx, now);
+                    self.cache_bytes[idx] = 0.0;
+                }
             }
         }
     }
 }
 
-/// Applies one controller action through the right agent.
+/// Applies one controller action through the right agent, bypassing the
+/// fault fabric (used only for deploy-time registration commands).
 fn apply_action(
     cluster: &mut Cluster,
-    agents: &[Agent],
+    agents: &mut [Agent],
     action: &Action,
     accountant: &mut BandwidthAccountant,
     now: SimTime,
-) -> Option<Vec<escra_core::ReclaimEntry>> {
+) -> Option<Vec<ReclaimEntry>> {
     match action {
         Action::Agent { node, cmd } => {
             accountant.record(
@@ -936,56 +1086,117 @@ fn apply_action(
                     _ => LIMIT_UPDATE_WIRE_BYTES,
                 },
             );
-            let agent = agents
-                .iter()
-                .find(|a| a.node() == *node)
-                .copied()
-                .unwrap_or(Agent::new(*node));
-            match agent.apply(cluster, *cmd) {
-                AgentReport::Reclaimed(entries) => Some(entries),
-                AgentReport::Applied => None,
+            match agents.iter_mut().find(|a| a.node() == *node) {
+                Some(agent) => match agent.apply(cluster, *cmd) {
+                    AgentReport::Reclaimed(entries) => Some(entries),
+                    AgentReport::Applied | AgentReport::Stale => None,
+                },
+                None => None,
             }
         }
         Action::KillContainer(_) => None,
     }
 }
 
-/// Recursively applies Escra actions, feeding reclamation reports back
-/// into the controller (which may emit grants or kills).
-fn apply_escra_actions(
-    cluster: &mut Cluster,
-    agents: &[Agent],
-    controller: &mut Controller,
+/// Routes controller actions onto the fabric: Agent commands travel the
+/// wire (and can be dropped/duplicated/delayed); kills are local to the
+/// Controller's authority and take effect immediately.
+fn dispatch_actions(
     actions: Vec<Action>,
+    cluster: &mut Cluster,
+    net: &mut ControlPlane,
     accountant: &mut BandwidthAccountant,
     now: SimTime,
-    killed: &mut bool,
+    killed: &mut Vec<ContainerId>,
 ) {
-    let mut pending = actions;
-    let mut depth = 0;
-    while !pending.is_empty() && depth < 4 {
-        depth += 1;
-        let mut reclaim_entries = Vec::new();
-        let mut next = Vec::new();
-        for action in &pending {
-            match action {
-                Action::KillContainer(cid) => {
-                    let _ = cluster.oom_kill(*cid, now);
-                    *killed = true;
+    for action in actions {
+        match action {
+            Action::Agent { node, cmd } => net.send(
+                now,
+                controller_addr(),
+                node_addr(node),
+                Envelope::ToNode(node, cmd),
+                accountant,
+            ),
+            Action::KillContainer(cid) => {
+                let _ = cluster.oom_kill(cid, now);
+                killed.push(cid);
+            }
+        }
+    }
+}
+
+/// Delivers every control-plane message due at `now` until the fabric is
+/// quiescent, feeding aggregated reclamation reports back into the
+/// controller exactly as the synchronous pre-fault simulator did: all
+/// sweep responses arriving in one delivery round are merged into one
+/// `on_reclaim_report` call, so grant-vs-kill decisions see the whole
+/// round's reclaimed total.
+#[allow(clippy::too_many_arguments)] // the split borrow of Sim's fields
+fn pump_control_plane(
+    cluster: &mut Cluster,
+    agents: &mut [Agent],
+    controller: &mut Controller,
+    net: &mut ControlPlane,
+    accountant: &mut BandwidthAccountant,
+    now: SimTime,
+    killed: &mut Vec<ContainerId>,
+) {
+    // Backstop against a (non-existent today) message cycle; real
+    // cascades are grant → ack → done and terminate in a few rounds.
+    let mut guard = 0u32;
+    loop {
+        while let Some((_, env)) = net.delayed.pop_due(now) {
+            net.ready.push_back(env);
+        }
+        if net.ready.is_empty() {
+            break;
+        }
+        let mut reclaim_entries: Vec<ReclaimEntry> = Vec::new();
+        while let Some(env) = net.ready.pop_front() {
+            guard += 1;
+            if guard > 100_000 {
+                return;
+            }
+            match env {
+                Envelope::ToCtl(msg) => {
+                    let actions = controller.handle(now, msg);
+                    dispatch_actions(actions, cluster, net, accountant, now, killed);
                 }
-                other => {
-                    if let Some(mut entries) =
-                        apply_action(cluster, agents, other, accountant, now)
-                    {
-                        reclaim_entries.append(&mut entries);
+                Envelope::ToNode(node, cmd) => {
+                    let report = agents
+                        .iter_mut()
+                        .find(|a| a.node() == node)
+                        .map(|a| a.apply(cluster, cmd));
+                    match report {
+                        Some(AgentReport::Applied) => {
+                            if let ToAgent::SetMemLimit { container, seq, .. } = cmd {
+                                net.send(
+                                    now,
+                                    node_addr(node),
+                                    controller_addr(),
+                                    Envelope::ToCtl(ToController::LimitAck { container, seq }),
+                                    accountant,
+                                );
+                            }
+                        }
+                        Some(AgentReport::Reclaimed(entries)) => net.send(
+                            now,
+                            node_addr(node),
+                            controller_addr(),
+                            Envelope::Report(entries),
+                            accountant,
+                        ),
+                        Some(AgentReport::Stale) | None => {}
                     }
                 }
+                Envelope::Report(entries) => reclaim_entries.extend(entries),
             }
         }
         if !reclaim_entries.is_empty() {
-            next.extend(controller.on_reclaim_report(now, &reclaim_entries));
+            let actions = controller.on_reclaim_report(now, &reclaim_entries);
+            dispatch_actions(actions, cluster, net, accountant, now, killed);
         }
-        pending = next;
     }
 }
 
@@ -1017,13 +1228,8 @@ mod tests {
     use escra_workloads::teastore;
 
     fn quick_cfg(policy: Policy) -> MicroSimConfig {
-        MicroSimConfig::new(
-            teastore(),
-            WorkloadKind::Fixed { rps: 150.0 },
-            policy,
-            42,
-        )
-        .with_duration(SimDuration::from_secs(12))
+        MicroSimConfig::new(teastore(), WorkloadKind::Fixed { rps: 150.0 }, policy, 42)
+            .with_duration(SimDuration::from_secs(12))
     }
 
     #[test]
@@ -1031,7 +1237,11 @@ mod tests {
         let out = run(&quick_cfg(Policy::escra_default()));
         let m = &out.metrics;
         // 150 rps over 12s ~ 1800 requests; most must succeed.
-        assert!(m.latency.successes() > 1_500, "successes {}", m.latency.successes());
+        assert!(
+            m.latency.successes() > 1_500,
+            "successes {}",
+            m.latency.successes()
+        );
         assert!(m.throughput() > 120.0, "tput {}", m.throughput());
         assert!(m.latency.p(50.0) > 0.0);
         assert_eq!(m.oom_kills, 0, "Escra must absorb all OOMs");

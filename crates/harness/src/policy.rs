@@ -49,7 +49,10 @@ impl Policy {
 
     /// Whether this policy needs a profiling pre-run to seed limits.
     pub fn needs_profile(&self) -> bool {
-        matches!(self, Policy::Static { .. } | Policy::Autopilot(_) | Policy::Vpa(_))
+        matches!(
+            self,
+            Policy::Static { .. } | Policy::Autopilot(_) | Policy::Vpa(_)
+        )
     }
 }
 

@@ -72,7 +72,8 @@ pub fn drain_fifo(
             let completion = start + SimDuration::from_micros(need_time_us.ceil() as u64);
             out.consumed_us += front.remaining_us;
             budget -= front.remaining_us;
-            out.completions.push((front.request, completion.min(period_end)));
+            out.completions
+                .push((front.request, completion.min(period_end)));
             cursor = completion;
             queue.pop_front();
             if budget <= 1e-9 {
@@ -213,8 +214,12 @@ mod tests {
         // 8-core burst speed, but only 20ms of quota budget: the first
         // two 10ms jobs finish fast, the third is throttled untouched.
         let (s, e) = period();
-        let mut q: VecDeque<StageJob> =
-            [job(0, 10_000.0, 0), job(1, 10_000.0, 0), job(2, 10_000.0, 0)].into();
+        let mut q: VecDeque<StageJob> = [
+            job(0, 10_000.0, 0),
+            job(1, 10_000.0, 0),
+            job(2, 10_000.0, 0),
+        ]
+        .into();
         let out = drain_fifo(&mut q, s, e, 8.0, 20_000.0);
         assert_eq!(out.completions.len(), 2);
         assert!(out.completions[1].1 <= SimTime::from_millis(103));

@@ -144,14 +144,13 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
     let mut accountant = BandwidthAccountant::new();
     let mut controller = cfg.escra.as_ref().map(|ecfg| {
         let mut c = Controller::new(ecfg.clone());
-        let pool_mem = (cfg.openwhisk.container_pool_mem_mib as f64
-            * cfg.resource_scale) as u64
-            * MIB;
+        let pool_mem =
+            (cfg.openwhisk.container_pool_mem_mib as f64 * cfg.resource_scale) as u64 * MIB;
         let pool_cpu = cfg.openwhisk.implied_global_cpu_cores() * cfg.resource_scale;
         c.register_app(app_id, pool_cpu, pool_mem);
         c
     });
-    let agents: Vec<Agent> = cluster.nodes().iter().map(|n| Agent::new(n.id())).collect();
+    let mut agents: Vec<Agent> = cluster.nodes().iter().map(|n| Agent::new(n.id())).collect();
 
     let mut pods: Vec<Pod> = Vec::new();
     let mut pending: VecDeque<SimTime> = VecDeque::new(); // activation arrivals
@@ -173,8 +172,7 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
             let gap = SimDuration::from_secs(120); // idle gap between iterations
             let mut all = Vec::new();
             for i in 0..iterations {
-                let start = SimTime::ZERO
-                    + (IMAGE_PROCESS_ITERATION + gap) * i as u64;
+                let start = SimTime::ZERO + (IMAGE_PROCESS_ITERATION + gap) * i as u64;
                 all.extend(image_process_arrivals(start));
             }
             all.into()
@@ -198,7 +196,7 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                 cfg,
                 app_id,
                 &mut controller,
-                &agents,
+                &mut agents,
                 &mut accountant,
                 SimTime::ZERO,
             );
@@ -261,7 +259,7 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                 cfg,
                 app_id,
                 &mut controller,
-                &agents,
+                &mut agents,
                 &mut accountant,
                 t,
             );
@@ -348,7 +346,9 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
         for pod in pods.iter_mut() {
             if let PodState::Io { arrival, until } = pod.state {
                 if until <= t_next {
-                    metrics.latency.record_success(until.duration_since(arrival));
+                    metrics
+                        .latency
+                        .record_success(until.duration_since(arrival));
                     if let Some(job) = job.as_mut() {
                         job.complete();
                         if job.is_done() && job_latency.is_none() {
@@ -391,14 +391,17 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
             if let ChargeOutcome::WouldOom { shortfall_bytes } = outcome {
                 if let Some(ctl) = controller.as_mut() {
                     accountant.record(t_next, OOM_EVENT_WIRE_BYTES);
+                    let current_limit_bytes =
+                        cluster.container(cid).expect("pod").mem.limit_bytes();
                     let actions = ctl.handle(
                         t_next,
                         ToController::OomEvent {
                             container: cid,
                             shortfall_bytes,
+                            current_limit_bytes,
                         },
                     );
-                    let killed = drive_actions(&mut cluster, &agents, ctl, actions, t_next);
+                    let killed = drive_actions(&mut cluster, &mut agents, ctl, actions, t_next);
                     if !killed {
                         let _ = cluster
                             .container_mut(cid)
@@ -443,13 +446,13 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                             stats,
                         },
                     );
-                    drive_actions(&mut cluster, &agents, ctl, actions, t_next);
+                    drive_actions(&mut cluster, &mut agents, ctl, actions, t_next);
                 }
             }
         }
         if let Some(ctl) = controller.as_mut() {
             let actions = ctl.tick(t_next);
-            drive_actions(&mut cluster, &agents, ctl, actions, t_next);
+            drive_actions(&mut cluster, &mut agents, ctl, actions, t_next);
         }
 
         // Idle-timeout teardown.
@@ -511,7 +514,7 @@ fn spawn_pod(
     cfg: &ServerlessConfig,
     app_id: AppId,
     controller: &mut Option<Controller>,
-    agents: &[Agent],
+    agents: &mut [Agent],
     accountant: &mut BandwidthAccountant,
     now: SimTime,
 ) {
@@ -544,7 +547,7 @@ fn spawn_pod(
 /// whether any container was killed.
 fn drive_actions(
     cluster: &mut Cluster,
-    agents: &[Agent],
+    agents: &mut [Agent],
     controller: &mut Controller,
     actions: Vec<Action>,
     now: SimTime,
@@ -562,13 +565,10 @@ fn drive_actions(
                     killed = true;
                 }
                 Action::Agent { node, cmd } => {
-                    let agent = agents
-                        .iter()
-                        .find(|a| a.node() == *node)
-                        .copied()
-                        .unwrap_or(Agent::new(*node));
-                    if let AgentReport::Reclaimed(mut e) = agent.apply(cluster, *cmd) {
-                        entries.append(&mut e);
+                    if let Some(agent) = agents.iter_mut().find(|a| a.node() == *node) {
+                        if let AgentReport::Reclaimed(mut e) = agent.apply(cluster, *cmd) {
+                            entries.append(&mut e);
+                        }
                     }
                 }
             }
@@ -590,10 +590,7 @@ mod tests {
     fn short_image_process(escra: bool) -> ServerlessOutput {
         let cfg = ServerlessConfig {
             app: ServerlessApp::ImageProcess { iterations: 1 },
-            ..ServerlessConfig::image_process(
-                escra.then(EscraConfig::default),
-                7,
-            )
+            ..ServerlessConfig::image_process(escra.then(EscraConfig::default), 7)
         };
         run_serverless(&cfg, &image_process())
     }

@@ -56,13 +56,14 @@ pub fn run_tracking(
         name: "sysbench".into(),
         global_cpu_cores,
         global_mem_bytes: 1024 * MIB,
-        containers: vec![ContainerSpec::new("sysbench", app_id)
-            .with_restart_delay(SimDuration::ZERO)],
+        containers: vec![
+            ContainerSpec::new("sysbench", app_id).with_restart_delay(SimDuration::ZERO)
+        ],
     };
     let (ids, actions) =
         deploy_app(cfg, &app, &mut cluster, &mut controller, SimTime::ZERO).expect("deploy");
     let cid = ids[0];
-    let agent = Agent::new(cluster.nodes()[0].id());
+    let mut agent = Agent::new(cluster.nodes()[0].id());
     for a in &actions {
         if let Action::Agent { cmd, .. } = a {
             agent.apply(&mut cluster, *cmd);
@@ -92,7 +93,13 @@ pub fn run_tracking(
         }
         limit.record(t_next, stats.quota_cores);
         usage.record(t_next, stats.usage_us / period_us);
-        let actions = controller.handle(t_next, ToController::CpuStats { container: cid, stats });
+        let actions = controller.handle(
+            t_next,
+            ToController::CpuStats {
+                container: cid,
+                stats,
+            },
+        );
         for a in &actions {
             if let Action::Agent { cmd, .. } = a {
                 agent.apply(&mut cluster, *cmd);
@@ -137,11 +144,23 @@ mod tests {
                     .count()
                     .max(1) as f64
         };
-        assert!(around(&result.limit, 26.0) > 3.5, "limit at 26s: {}", around(&result.limit, 26.0));
+        assert!(
+            around(&result.limit, 26.0) > 3.5,
+            "limit at 26s: {}",
+            around(&result.limit, 26.0)
+        );
         // ...and during the later 1-core phase it must have shrunk back.
-        assert!(around(&result.limit, 32.0) < 2.0, "limit at 32s: {}", around(&result.limit, 32.0));
+        assert!(
+            around(&result.limit, 32.0) < 2.0,
+            "limit at 32s: {}",
+            around(&result.limit, 32.0)
+        );
         // Mean slack stays small: the whole point of Fig. 2.
-        assert!(result.mean_slack_cores() < 0.8, "slack {}", result.mean_slack_cores());
+        assert!(
+            result.mean_slack_cores() < 0.8,
+            "slack {}",
+            result.mean_slack_cores()
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The message fabric: endpoints, latency, in-order delivery.
 
 use crate::accounting::BandwidthAccountant;
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan, FaultStats};
 use escra_simcore::events::EventQueue;
 use escra_simcore::rng::SimRng;
 use escra_simcore::time::{SimDuration, SimTime};
@@ -11,15 +12,23 @@ use serde::{Deserialize, Serialize};
 /// Addresses are handed out by [`Network::register`]; higher layers map
 /// them to the Controller, per-node Agents, and per-container kernel
 /// sockets.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Addr(u64);
 
 impl Addr {
     /// Raw numeric form, useful as a map key or RNG stream label.
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Builds an address from its raw numeric form.
+    ///
+    /// Embeddings that assign well-known addresses (e.g. "controller is
+    /// address 0, node *n* is address 1 + *n*") use this instead of
+    /// [`Network::register`]; a [`FaultPlan`] can then name endpoints
+    /// without holding a `Network`.
+    pub const fn from_raw(raw: u64) -> Self {
+        Addr(raw)
     }
 }
 
@@ -101,17 +110,30 @@ pub struct Network<M> {
     queue: EventQueue<Delivery<M>>,
     next_addr: u64,
     accountant: BandwidthAccountant,
+    faults: FaultInjector,
 }
 
 impl<M> Network<M> {
     /// Creates a network with the given latency model and RNG seed.
     pub fn new(latency: LatencyModel, seed: u64) -> Self {
+        Network::with_faults(latency, seed, FaultPlan::none())
+    }
+
+    /// Creates a network that additionally injects the faults described
+    /// by `plan`.
+    ///
+    /// The injector draws from its own RNG fork of `seed`, and the
+    /// empty plan consumes no draws at all — so
+    /// `with_faults(l, s, FaultPlan::none())` is bit-identical to
+    /// `new(l, s)`.
+    pub fn with_faults(latency: LatencyModel, seed: u64, plan: FaultPlan) -> Self {
         Network {
             latency,
             rng: SimRng::new(seed).fork(0x006e_6574), // "net"
             queue: EventQueue::new(),
             next_addr: 0,
             accountant: BandwidthAccountant::new(),
+            faults: FaultInjector::new(plan, seed),
         }
     }
 
@@ -120,14 +142,6 @@ impl<M> Network<M> {
         let a = Addr(self.next_addr);
         self.next_addr += 1;
         a
-    }
-
-    /// Sends `message` of `wire_bytes` from `from` to `to` at time `now`;
-    /// it will be delivered after a sampled one-way latency.
-    pub fn send(&mut self, now: SimTime, from: Addr, to: Addr, message: M, wire_bytes: u64) {
-        self.accountant.record(now, wire_bytes);
-        let delay = self.latency.sample(&mut self.rng);
-        self.queue.push(now + delay, Delivery { from, to, message });
     }
 
     /// Pops every message due at or before `now`, in delivery order.
@@ -154,11 +168,55 @@ impl<M> Network<M> {
         &self.accountant
     }
 
+    /// The fault plan in force (`FaultPlan::none()` by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// Counters of injected faults so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
     /// Round-trip estimate for an RPC: two sampled one-way delays plus
     /// `processing` — used where the caller needs a latency without
     /// materialising both directions as messages.
     pub fn rpc_round_trip(&mut self, processing: SimDuration) -> SimDuration {
         self.latency.sample(&mut self.rng) + self.latency.sample(&mut self.rng) + processing
+    }
+}
+
+impl<M: Clone> Network<M> {
+    /// Sends `message` of `wire_bytes` from `from` to `to` at time `now`;
+    /// it will be delivered after a sampled one-way latency, subject to
+    /// the network's [`FaultPlan`].
+    ///
+    /// Wire bytes are charged even for dropped messages — the sender
+    /// still put them on the wire. A dropped message consumes no latency
+    /// draw; a duplicated one gets an independent latency per copy. With
+    /// the empty plan this samples exactly one latency, matching the
+    /// faultless network draw for draw.
+    pub fn send(&mut self, now: SimTime, from: Addr, to: Addr, message: M, wire_bytes: u64) {
+        self.accountant.record(now, wire_bytes);
+        match self.faults.decide(now, from, to) {
+            FaultDecision::Drop => {}
+            FaultDecision::Deliver {
+                copies,
+                extra_delay,
+            } => {
+                for _ in 0..copies {
+                    let delay = self.latency.sample(&mut self.rng) + extra_delay;
+                    self.queue.push(
+                        now + delay,
+                        Delivery {
+                            from,
+                            to,
+                            message: message.clone(),
+                        },
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -186,7 +244,14 @@ mod tests {
         let d = n.poll(SimTime::from_micros(500));
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].0, SimTime::from_micros(500));
-        assert_eq!(d[0].1, Delivery { from: a, to: b, message: 7 });
+        assert_eq!(
+            d[0].1,
+            Delivery {
+                from: a,
+                to: b,
+                message: 7
+            }
+        );
         assert_eq!(n.in_flight(), 0);
     }
 
@@ -246,5 +311,105 @@ mod tests {
         let b = n.register();
         assert_ne!(a, b);
         assert_eq!(a.as_u64() + 1, b.as_u64());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_faultless_network() {
+        let lat = LatencyModel::default();
+        let mut plain: Network<u32> = Network::new(lat, 42);
+        let mut faulty: Network<u32> = Network::with_faults(lat, 42, FaultPlan::none());
+        let (a, b) = (Addr::from_raw(0), Addr::from_raw(1));
+        for i in 0..500 {
+            let now = SimTime::from_millis(i as u64);
+            plain.send(now, a, b, i, 64);
+            faulty.send(now, a, b, i, 64);
+        }
+        let end = SimTime::from_secs(10);
+        assert_eq!(plain.poll(end), faulty.poll(end));
+        assert_eq!(
+            plain.accountant().total_bytes(),
+            faulty.accountant().total_bytes()
+        );
+    }
+
+    #[test]
+    fn dropped_messages_still_cost_wire_bytes() {
+        let mut n: Network<u32> =
+            Network::with_faults(LatencyModel::zero(), 1, FaultPlan::none().with_loss(1.0));
+        let (a, b) = (Addr::from_raw(0), Addr::from_raw(1));
+        n.send(SimTime::ZERO, a, b, 7, 100);
+        assert!(n.poll(SimTime::from_secs(1)).is_empty());
+        assert_eq!(n.accountant().total_bytes(), 100);
+        assert_eq!(n.fault_stats().dropped, 1);
+    }
+
+    #[test]
+    fn duplicated_message_arrives_twice() {
+        let mut n: Network<u32> = Network::with_faults(
+            LatencyModel::zero(),
+            1,
+            FaultPlan::none().with_duplicates(1.0),
+        );
+        let (a, b) = (Addr::from_raw(0), Addr::from_raw(1));
+        n.send(SimTime::ZERO, a, b, 7, 100);
+        let out = n.poll(SimTime::from_secs(1));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(_, d)| d.message == 7));
+        assert_eq!(n.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn delay_spike_defers_delivery() {
+        let mut n: Network<u32> = Network::with_faults(
+            LatencyModel::zero(),
+            1,
+            FaultPlan::none().with_delay_spikes(1.0, SimDuration::from_secs(2)),
+        );
+        let (a, b) = (Addr::from_raw(0), Addr::from_raw(1));
+        n.send(SimTime::ZERO, a, b, 7, 100);
+        assert!(n.poll(SimTime::from_millis(1999)).is_empty());
+        assert_eq!(n.poll(SimTime::from_secs(2)).len(), 1);
+    }
+
+    #[test]
+    fn partition_blackholes_the_pair_then_heals() {
+        let plan = FaultPlan::none().with_partition(
+            Addr::from_raw(0),
+            Addr::from_raw(1),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let mut n: Network<u32> = Network::with_faults(LatencyModel::zero(), 1, plan);
+        let (a, b) = (Addr::from_raw(0), Addr::from_raw(1));
+        n.send(SimTime::from_millis(1500), a, b, 1, 10);
+        n.send(SimTime::from_millis(1500), b, a, 2, 10);
+        n.send(SimTime::from_secs(2), a, b, 3, 10);
+        let out: Vec<u32> = n
+            .poll(SimTime::from_secs(5))
+            .into_iter()
+            .map(|(_, d)| d.message)
+            .collect();
+        assert_eq!(out, vec![3]);
+        assert_eq!(n.fault_stats().partitioned, 2);
+    }
+
+    #[test]
+    fn faulty_networks_with_same_seed_are_identical() {
+        let plan = FaultPlan::none()
+            .with_loss(0.2)
+            .with_duplicates(0.1)
+            .with_delay_spikes(0.05, SimDuration::from_millis(300));
+        let lat = LatencyModel::default();
+        let mut x: Network<u32> = Network::with_faults(lat, 9, plan.clone());
+        let mut y: Network<u32> = Network::with_faults(lat, 9, plan);
+        let (a, b) = (Addr::from_raw(0), Addr::from_raw(1));
+        for i in 0..1000 {
+            let now = SimTime::from_millis(i as u64);
+            x.send(now, a, b, i, 64);
+            y.send(now, a, b, i, 64);
+        }
+        let end = SimTime::from_secs(100);
+        assert_eq!(x.poll(end), y.poll(end));
+        assert_eq!(x.fault_stats(), y.fault_stats());
     }
 }

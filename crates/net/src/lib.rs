@@ -14,13 +14,19 @@
 //! * [`LatencyModel`] — base + bounded uniform jitter one-way delay;
 //! * [`BandwidthAccountant`] — per-second byte counters with peak-Mbps
 //!   queries, reproducing the paper's "12.06 Mbps for 32 containers"
-//!   style of measurement.
+//!   style of measurement;
+//! * [`FaultPlan`] / [`FaultInjector`] — deterministic fault injection
+//!   (loss, duplication, delay spikes, timed partitions) for robustness
+//!   experiments, with the guarantee that the empty plan perturbs
+//!   nothing.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod accounting;
 pub mod fabric;
+pub mod fault;
 
 pub use accounting::BandwidthAccountant;
 pub use fabric::{Addr, LatencyModel, Network};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultStats, Partition};

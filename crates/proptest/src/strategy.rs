@@ -1,0 +1,140 @@
+//! Value-generation strategies for the proptest shim.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Generates values of `Self::Value` from the deterministic RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start).max(1) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        })*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        })*
+    };
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Types with a canonical full-range strategy (the `any::<T>()` entry
+/// point).
+pub trait Arbitrary {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let u = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&u));
+            let f = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&f));
+            let s = (0usize..1).generate(&mut rng);
+            assert_eq!(s, 0);
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::from_name("tuples");
+        let (b, n, f) = (any::<bool>(), 0u64..8, 0.0f64..1.0).generate(&mut rng);
+        let _: bool = b;
+        assert!(n < 8);
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn vec_lengths_honor_size_range() {
+        let mut rng = TestRng::from_name("vecs");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0.0f64..1.0, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

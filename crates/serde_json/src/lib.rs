@@ -1,0 +1,163 @@
+//! Vendored, offline stand-in for `serde_json`.
+//!
+//! Pretty-prints the `serde` shim's `Value` tree. Only the surface this
+//! workspace uses is provided: [`to_string_pretty`] (and [`to_string`]),
+//! both infallible in practice but returning `Result` for API parity.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (never produced by this shim; exists for API parity).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => out.push_str(&format_float(*f)),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, indent, depth, "[", "]", items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Object(pairs) => write_seq(out, indent, depth, "{", "}", pairs.len(), |out, i| {
+            let (k, v) = &pairs[i];
+            write_string(out, k);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, v, indent, depth + 1);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: &str,
+    close: &str,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push_str(open);
+    if len == 0 {
+        out.push_str(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push_str(close);
+}
+
+/// Formats floats the way serde_json does: integral values keep a
+/// trailing `.0` (`1.0`, not `1`), non-finite values become `null`.
+fn format_float(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        let s = format!("{f}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_floats_keep_decimal_point() {
+        assert_eq!(format_float(1.0), "1.0");
+        assert_eq!(format_float(-2.0), "-2.0");
+        assert_eq!(format_float(1.5), "1.5");
+        assert_eq!(format_float(0.0), "0.0");
+    }
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let v = vec![(1.0f64, 2.0f64)];
+        let json = to_string_pretty(&v).unwrap();
+        assert!(json.contains("1.0"));
+        assert!(json.contains("2.0"));
+        assert_eq!(json.matches('[').count(), 2);
+    }
+
+    #[test]
+    fn compact_objects_have_no_whitespace() {
+        let v = Value::Object(vec![("k".to_string(), Value::UInt(3))]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(to_string(&Wrap(v)).unwrap(), "{\"k\":3}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

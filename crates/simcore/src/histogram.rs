@@ -66,7 +66,11 @@ impl LogHistogram {
     /// Negative samples are clamped to zero (slack can be transiently
     /// negative during a limit update; the paper reports absolute slack).
     pub fn record(&mut self, value: f64) {
-        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);

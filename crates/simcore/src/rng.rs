@@ -47,8 +47,7 @@ impl SimRng {
     /// that do not overlap in practice, and forking is itself deterministic.
     pub fn fork(&self, stream: u64) -> SimRng {
         // Mix the parent state with the label through SplitMix64.
-        let mut sm = self
-            .s[0]
+        let mut sm = self.s[0]
             .wrapping_mul(0xA076_1D64_78BD_642F)
             .wrapping_add(stream ^ self.s[3].rotate_left(17));
         SimRng {

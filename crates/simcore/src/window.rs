@@ -23,6 +23,7 @@ pub struct SlidingWindow {
     samples: VecDeque<f64>,
     capacity: usize,
     sum: f64,
+    evictions_since_resum: usize,
 }
 
 impl SlidingWindow {
@@ -37,6 +38,7 @@ impl SlidingWindow {
             samples: VecDeque::with_capacity(capacity),
             capacity,
             sum: 0.0,
+            evictions_since_resum: 0,
         }
     }
 
@@ -46,12 +48,15 @@ impl SlidingWindow {
             if let Some(old) = self.samples.pop_front() {
                 self.sum -= old;
             }
+            self.evictions_since_resum += 1;
         }
         self.samples.push_back(value);
         self.sum += value;
-        // Periodically re-sum to bound floating point drift.
-        if self.samples.len() == self.capacity && self.sum.abs() < 1e-12 {
+        // Re-sum every `capacity` evictions to bound floating-point
+        // drift regardless of the window's mean.
+        if self.evictions_since_resum >= self.capacity {
             self.sum = self.samples.iter().sum();
+            self.evictions_since_resum = 0;
         }
     }
 
@@ -103,6 +108,7 @@ impl SlidingWindow {
     pub fn clear(&mut self) {
         self.samples.clear();
         self.sum = 0.0;
+        self.evictions_since_resum = 0;
     }
 }
 
@@ -197,5 +203,26 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn long_run_sum_does_not_drift() {
+        // A nonzero-mean stream of values chosen to be inexact in
+        // binary; with the old "only re-sum when |sum| < 1e-12" guard
+        // the incremental sum drifted unboundedly.
+        let mut w = SlidingWindow::new(5);
+        for i in 0..1_000_000u64 {
+            w.push(0.1 + (i % 7) as f64 * 0.3);
+        }
+        let exact: f64 = w.samples.iter().sum();
+        assert!(
+            (w.sum() - exact).abs() < 1e-9,
+            "incremental sum {} drifted from exact {}",
+            w.sum(),
+            exact
+        );
+        // Mean must stay within one ULP-ish neighborhood of the true
+        // windowed mean, not merely near the stream mean.
+        assert!((w.mean() - exact / 5.0).abs() < 1e-9);
     }
 }

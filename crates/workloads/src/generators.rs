@@ -286,6 +286,8 @@ mod tests {
     #[test]
     fn empty_trace_is_silent() {
         let mut g = RequestGenerator::new(WorkloadKind::Trace { rates: vec![] }, 1);
-        assert!(g.arrivals_in(SimTime::ZERO, SimTime::from_secs(1)).is_empty());
+        assert!(g
+            .arrivals_in(SimTime::ZERO, SimTime::from_secs(1))
+            .is_empty());
     }
 }

@@ -143,12 +143,22 @@ impl MicroserviceApp {
         assert!(!self.tiers.is_empty(), "{}: no tiers", self.name);
         assert!(!self.classes.is_empty(), "{}: no classes", self.name);
         for t in &self.tiers {
-            assert!(t.replicas > 0, "{}: tier {} has no replicas", self.name, t.name);
+            assert!(
+                t.replicas > 0,
+                "{}: tier {} has no replicas",
+                self.name,
+                t.name
+            );
             assert!(t.cpu_per_req_ms > 0.0);
         }
         for c in &self.classes {
             assert!(c.weight > 0.0, "{}: class {} weight", self.name, c.name);
-            assert!(!c.path.is_empty(), "{}: class {} empty path", self.name, c.name);
+            assert!(
+                !c.path.is_empty(),
+                "{}: class {} empty path",
+                self.name,
+                c.name
+            );
             let mut last = None;
             for &i in &c.path {
                 assert!(i < self.tiers.len(), "{}: bad tier index {i}", self.name);
@@ -373,7 +383,10 @@ mod tests {
         let tier = ServiceTier::new("t", 1, 2.0); // 2 core-ms
         let mut rng = SimRng::new(5);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| tier.sample_service_us(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| tier.sample_service_us(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 2_000.0).abs() < 100.0, "mean {mean}");
     }
 
@@ -384,7 +397,9 @@ mod tests {
         // profiling smooths away (§VI-C).
         let tier = ServiceTier::new("t", 1, 1.0);
         let mut rng = SimRng::new(6);
-        let mut xs: Vec<f64> = (0..10_000).map(|_| tier.sample_service_us(&mut rng)).collect();
+        let mut xs: Vec<f64> = (0..10_000)
+            .map(|_| tier.sample_service_us(&mut rng))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let p99 = xs[9_900];
         assert!(p99 > 1_700.0, "p99 {p99} should be >1.7x the 1ms mean");

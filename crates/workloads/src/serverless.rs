@@ -201,9 +201,7 @@ impl GridSearchJob {
 /// at `start`.
 pub fn image_process_arrivals(start: SimTime) -> Vec<SimTime> {
     let n = IMAGE_PROCESS_ITERATION.as_micros() / IMAGE_PROCESS_INTERVAL.as_micros();
-    (0..n)
-        .map(|i| start + IMAGE_PROCESS_INTERVAL * i)
-        .collect()
+    (0..n).map(|i| start + IMAGE_PROCESS_INTERVAL * i).collect()
 }
 
 #[cfg(test)]

@@ -51,12 +51,30 @@ impl SysbenchLoad {
     pub fn paper_fig2() -> Self {
         let s = SimDuration::from_secs;
         SysbenchLoad::new(vec![
-            Phase { cores: 1.0, len: s(6) },
-            Phase { cores: 3.0, len: s(7) },
-            Phase { cores: 2.0, len: s(6) },
-            Phase { cores: 4.0, len: s(8) },
-            Phase { cores: 1.0, len: s(6) },
-            Phase { cores: 2.0, len: s(7) },
+            Phase {
+                cores: 1.0,
+                len: s(6),
+            },
+            Phase {
+                cores: 3.0,
+                len: s(7),
+            },
+            Phase {
+                cores: 2.0,
+                len: s(6),
+            },
+            Phase {
+                cores: 4.0,
+                len: s(8),
+            },
+            Phase {
+                cores: 1.0,
+                len: s(6),
+            },
+            Phase {
+                cores: 2.0,
+                len: s(7),
+            },
         ])
     }
 

@@ -17,8 +17,14 @@ fn main() {
     let cfg = EscraConfig::default();
     // Two single-core-ish workers; the app may use 2 cores in aggregate.
     let mut cluster = Cluster::new(vec![
-        NodeSpec { cores: 4, mem_bytes: 8 << 30 },
-        NodeSpec { cores: 4, mem_bytes: 8 << 30 },
+        NodeSpec {
+            cores: 4,
+            mem_bytes: 8 << 30,
+        },
+        NodeSpec {
+            cores: 4,
+            mem_bytes: 8 << 30,
+        },
     ]);
     let mut controller = Controller::new(cfg.clone());
     let app = AppConfig {
@@ -34,8 +40,8 @@ fn main() {
     let (ids, actions) =
         deploy_app(&cfg, &app, &mut cluster, &mut controller, SimTime::ZERO).expect("deploy");
     let (busy, idle) = (ids[0], ids[1]);
-    let agents: Vec<Agent> = cluster.nodes().iter().map(|n| Agent::new(n.id())).collect();
-    let apply = |cluster: &mut Cluster, actions: Vec<Action>| {
+    let mut agents: Vec<Agent> = cluster.nodes().iter().map(|n| Agent::new(n.id())).collect();
+    let mut apply = |cluster: &mut Cluster, actions: Vec<Action>| {
         for a in actions {
             if let Action::Agent { node, cmd } = a {
                 agents[node.as_u64() as usize].apply(cluster, cmd);
@@ -66,8 +72,13 @@ fn main() {
                 c.cpu.mark_throttled();
             }
             let stats = c.cpu.end_period();
-            let actions =
-                controller.handle(now, ToController::CpuStats { container: cid, stats });
+            let actions = controller.handle(
+                now,
+                ToController::CpuStats {
+                    container: cid,
+                    stats,
+                },
+            );
             apply(&mut cluster, actions);
         }
         if step % 5 == 4 {

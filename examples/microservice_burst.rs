@@ -57,7 +57,10 @@ fn main() {
             format!("{}", m.oom_kills),
         ]);
     }
-    println!("\nHipsterShop x Burst, 60 s measured:\n\n{}", table.render());
+    println!(
+        "\nHipsterShop x Burst, 60 s measured:\n\n{}",
+        table.render()
+    );
 
     let vs_static = Comparison::between(&runs[0], &runs[2]);
     let vs_autopilot = Comparison::between(&runs[1], &runs[2]);

@@ -34,16 +34,31 @@ fn main() {
     println!("  throughput        : {:.1} req/s", m.throughput());
     println!("  median latency    : {:.0} ms", m.latency.p(50.0));
     println!("  99.9%ile latency  : {:.0} ms", m.latency.p(99.9));
-    println!("  median CPU slack  : {:.2} cores/container", m.slack.cpu_p(50.0));
-    println!("  median mem slack  : {:.0} MiB/container", m.slack.mem_p(50.0));
-    println!("  OOM kills         : {} (Escra traps OOMs before the kernel kills)", m.oom_kills);
+    println!(
+        "  median CPU slack  : {:.2} cores/container",
+        m.slack.cpu_p(50.0)
+    );
+    println!(
+        "  median mem slack  : {:.0} MiB/container",
+        m.slack.mem_p(50.0)
+    );
+    println!(
+        "  OOM kills         : {} (Escra traps OOMs before the kernel kills)",
+        m.oom_kills
+    );
 
     let stats = out.controller_stats.expect("escra run");
     println!("\ncontroller activity:");
-    println!("  telemetry ingested: {} per-period reports", stats.cpu_stats_ingested);
+    println!(
+        "  telemetry ingested: {} per-period reports",
+        stats.cpu_stats_ingested
+    );
     println!("  quota scale-ups   : {}", stats.scale_ups);
     println!("  quota scale-downs : {}", stats.scale_downs);
-    println!("  reclamation sweeps: {} (every 5 s, δ = 50 MiB)", stats.reclaim_sweeps);
+    println!(
+        "  reclamation sweeps: {} (every 5 s, δ = 50 MiB)",
+        stats.reclaim_sweeps
+    );
     println!(
         "  memory reclaimed  : {} MiB returned to the pool",
         stats.reclaimed_bytes / (1024 * 1024)

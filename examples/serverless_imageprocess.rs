@@ -27,7 +27,11 @@ fn main() {
         };
         println!(
             "running one 10-minute ImageProcess iteration ({}) ...",
-            if escra { "escra-openwhisk" } else { "openwhisk" }
+            if escra {
+                "escra-openwhisk"
+            } else {
+                "openwhisk"
+            }
         );
         let out = run_serverless(&cfg, &image_process());
         let m = &out.metrics;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The repo's CI gate: build, full test suite, lints, formatting.
+# Run before every commit; everything must pass with zero warnings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (root package tier-1) =="
+cargo test -q
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "ALL CHECKS PASSED"

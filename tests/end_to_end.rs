@@ -2,13 +2,26 @@
 //! measure under each policy, checking the paper's headline claims hold
 //! in-the-small on every run.
 
-use escra::harness::{run, MicroSimConfig, Policy};
-use escra::simcore::time::SimDuration;
+use escra::cluster::NodeId;
+use escra::harness::{controller_addr, node_addr, run, MicroSimConfig, Policy};
+use escra::net::FaultPlan;
+use escra::simcore::time::{SimDuration, SimTime};
 use escra::workloads::{hipster_shop, teastore, WorkloadKind};
 
 fn quick(policy: Policy, seed: u64) -> MicroSimConfig {
     MicroSimConfig::new(teastore(), WorkloadKind::Fixed { rps: 200.0 }, policy, seed)
         .with_duration(SimDuration::from_secs(15))
+}
+
+/// The acceptance fault level: 10 % loss plus one 2 s partition of a
+/// worker node from the Controller, mid-run.
+fn lossy_partitioned() -> FaultPlan {
+    FaultPlan::none().with_loss(0.10).with_partition(
+        controller_addr(),
+        node_addr(NodeId::new(1)),
+        SimTime::from_secs(14),
+        SimTime::from_secs(16),
+    )
 }
 
 #[test]
@@ -26,25 +39,81 @@ fn escra_never_ooms() {
 }
 
 #[test]
+fn escra_never_ooms_under_loss_and_partition() {
+    // The fault-tolerance claim: a lossy control plane with a partitioned
+    // node must not get containers OOM-killed — lost grants are recovered
+    // by the retry timer or by reconciliation on the next OOM event, and
+    // the Agent-side valve holds last-known-good limits meanwhile.
+    for seed in [1, 7, 42] {
+        let cfg = quick(Policy::escra_default(), seed).with_faults(lossy_partitioned());
+        let out = run(&cfg);
+        let faults = out.fault_stats.expect("fault stats");
+        assert!(
+            faults.dropped > 0 && faults.partitioned > 0,
+            "faults must actually fire (seed {seed}: {faults:?})"
+        );
+        assert_eq!(out.metrics.oom_kills, 0, "seed {seed}");
+        assert_eq!(
+            out.controller_stats.expect("escra stats").ooms_fatal,
+            0,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn faulty_runs_with_identical_seeds_are_bit_reproducible() {
+    let mk = || {
+        quick(Policy::escra_default(), 9).with_faults(
+            lossy_partitioned()
+                .with_duplicates(0.03)
+                .with_delay_spikes(0.03, SimDuration::from_millis(400)),
+        )
+    };
+    let a = run(&mk());
+    let b = run(&mk());
+    assert_eq!(a.metrics.latency.successes(), b.metrics.latency.successes());
+    assert_eq!(a.metrics.latency.p(99.9), b.metrics.latency.p(99.9));
+    assert_eq!(a.fault_stats, b.fault_stats);
+    assert_eq!(
+        a.network.expect("net").total_bytes(),
+        b.network.expect("net").total_bytes()
+    );
+}
+
+#[test]
+fn inactive_fault_plan_reproduces_the_faultless_run_exactly() {
+    // A plan whose partition never overlaps the run and whose
+    // probabilities are zero must not consume a single RNG draw, so the
+    // run is bit-identical to one with no fault plan at all.
+    let inert = FaultPlan::none().with_partition(
+        controller_addr(),
+        node_addr(NodeId::new(0)),
+        SimTime::from_secs(9_000),
+        SimTime::from_secs(9_002),
+    );
+    let a = run(&quick(Policy::escra_default(), 9));
+    let b = run(&quick(Policy::escra_default(), 9).with_faults(inert));
+    assert_eq!(a.metrics.latency.successes(), b.metrics.latency.successes());
+    assert_eq!(a.metrics.latency.p(99.9), b.metrics.latency.p(99.9));
+    assert_eq!(a.metrics.slack.cpu_p(50.0), b.metrics.slack.cpu_p(50.0));
+    assert_eq!(
+        a.network.expect("net").total_bytes(),
+        b.network.expect("net").total_bytes()
+    );
+}
+
+#[test]
 fn escra_respects_the_distributed_container_limit() {
     // The aggregate of all quotas must never exceed Ωl — the runtime
     // enforcement that distinguishes Distributed Containers from
     // admission-time Resource Quotas (§III).
     let app = teastore();
     let omega = app.global_cpu_cores;
-    let cfg = MicroSimConfig::new(
-        app,
-        WorkloadKind::paper_burst(),
-        Policy::escra_default(),
-        3,
-    )
-    .with_duration(SimDuration::from_secs(20));
+    let cfg = MicroSimConfig::new(app, WorkloadKind::paper_burst(), Policy::escra_default(), 3)
+        .with_duration(SimDuration::from_secs(20));
     let out = run(&cfg);
-    let max_agg = out
-        .metrics
-        .cpu_limit_series
-        .max()
-        .expect("limits sampled");
+    let max_agg = out.metrics.cpu_limit_series.max().expect("limits sampled");
     assert!(
         max_agg <= omega + 1e-6,
         "aggregate limit {max_agg} exceeded Ω = {omega}"
@@ -122,5 +191,8 @@ fn escra_telemetry_flows_and_is_accounted() {
     assert!(stats.reclaim_sweeps >= 2, "5 s reclamation loop ran");
     let net = out.network.expect("escra accounts bytes");
     assert!(net.total_bytes() > 0);
-    assert!(net.peak_mbps() < 100.0, "control plane must stay lightweight");
+    assert!(
+        net.peak_mbps() < 100.0,
+        "control plane must stay lightweight"
+    );
 }

@@ -5,10 +5,14 @@ use escra::cfs::node::{arbitrate, arbitrate_weighted};
 use escra::cfs::{ChargeOutcome, CpuBandwidth, MemCgroup};
 use escra::cluster::{AppId, ContainerId, NodeId};
 use escra::core::allocator::ResourceAllocator;
-use escra::core::EscraConfig;
+use escra::core::telemetry::ToController;
+use escra::core::{Action, Controller, EscraConfig, ToAgent};
+use escra::net::{Addr, FaultDecision, FaultInjector, FaultPlan};
 use escra::simcore::histogram::LogHistogram;
 use escra::simcore::stats::percentile;
+use escra::simcore::time::{SimDuration, SimTime};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 proptest! {
     /// Max–min arbitration: conserving, bounded by demand, and
@@ -165,6 +169,136 @@ proptest! {
             let pool = alloc.app_pool(app).expect("app");
             prop_assert_eq!(alloc.tracked_mem_sum(app), pool.allocated_mem_bytes());
             prop_assert!(pool.allocated_mem_bytes() <= global);
+        }
+    }
+
+    /// The Controller's pool books are conserved under an arbitrarily
+    /// faulty control plane: whatever the fabric drops, duplicates or
+    /// delays, after every event Σ tracked CPU quotas equals the pool's
+    /// allocated total and never exceeds Ω, and likewise for memory.
+    ///
+    /// The "world" here is a shadow of the Agents: per-container applied
+    /// limits behind a [`FaultInjector`], with the same per-resource
+    /// sequence filtering a real Agent does. OOM events report the
+    /// *shadow* limit, so lost grants genuinely surface as stale
+    /// `current_limit_bytes` and exercise reconciliation and retry.
+    #[test]
+    fn controller_books_survive_a_faulty_control_plane(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.6,
+        dup in 0.0f64..0.4,
+        spike in 0.0f64..0.4,
+        events in proptest::collection::vec(
+            (0u64..6, 0.0f64..1.5, any::<bool>(), any::<bool>()),
+            1..120,
+        ),
+    ) {
+        const N: u64 = 6;
+        let omega = 12.0f64;
+        let global_mem: u64 = 4 << 30;
+        let app = AppId::new(0);
+        let mut ctl = Controller::new(EscraConfig::default());
+        ctl.register_app(app, omega, global_mem);
+
+        // Shadow Agent state: applied (quota, limit) + last seq per resource.
+        let mut shadow_mem: BTreeMap<ContainerId, (u64, u64)> = BTreeMap::new();
+        let mut shadow_cpu_seq: BTreeMap<ContainerId, u64> = BTreeMap::new();
+        for i in 0..N {
+            let cid = ContainerId::new(i);
+            let actions = ctl
+                .register_container(cid, app, NodeId::new(i % 2), omega / N as f64, 256 << 20)
+                .expect("register");
+            for a in actions {
+                if let Action::Agent { cmd: ToAgent::SetMemLimit { limit_bytes, seq, .. }, .. } = a {
+                    shadow_mem.insert(cid, (limit_bytes, seq));
+                }
+            }
+        }
+
+        let plan = FaultPlan::none()
+            .with_loss(loss)
+            .with_duplicates(dup)
+            .with_delay_spikes(spike, SimDuration::from_millis(700));
+        let mut fabric = FaultInjector::new(plan, seed);
+        let ctl_addr = Addr::from_raw(0);
+        let node_addr = |n: NodeId| Addr::from_raw(1 + n.as_u64());
+
+        let mut now = SimTime::ZERO;
+        let mut acks: Vec<ToController> = Vec::new();
+        for (cid, usage_frac, throttled, oom) in events {
+            now += SimDuration::from_millis(100);
+            let container = ContainerId::new(cid % N);
+            let msg = if oom {
+                let (limit, _) = shadow_mem[&container];
+                ToController::OomEvent {
+                    container,
+                    shortfall_bytes: 8 << 20,
+                    current_limit_bytes: limit,
+                }
+            } else {
+                let quota = ctl.allocator().quota_of(container).expect("tracked");
+                let usage = quota * usage_frac.min(1.0);
+                ToController::CpuStats {
+                    container,
+                    stats: escra::cfs::CpuPeriodStats {
+                        quota_cores: quota,
+                        usage_us: usage * 100_000.0,
+                        unused_runtime_us: (quota - usage) * 100_000.0,
+                        throttled,
+                    },
+                }
+            };
+            let mut actions = ctl.handle(now, msg);
+            for ack in acks.drain(..) {
+                actions.extend(ctl.handle(now, ack));
+            }
+            actions.extend(ctl.tick(now));
+            // Deliver Agent commands through the faulty fabric into the
+            // shadow world; empty reclaim reports may kill pending OOMs.
+            let mut saw_reclaim = false;
+            for a in actions {
+                match a {
+                    Action::Agent { node, cmd } => {
+                        let decision = fabric.decide(now, ctl_addr, node_addr(node));
+                        let copies = match decision {
+                            FaultDecision::Drop => 0,
+                            FaultDecision::Deliver { copies, .. } => copies,
+                        };
+                        for _ in 0..copies {
+                            match cmd {
+                                ToAgent::SetMemLimit { container, limit_bytes, seq } => {
+                                    let entry = shadow_mem.entry(container).or_insert((0, 0));
+                                    if seq > entry.1 {
+                                        *entry = (limit_bytes, seq);
+                                        acks.push(ToController::LimitAck { container, seq });
+                                    }
+                                }
+                                ToAgent::SetCpuQuota { container, seq, .. } => {
+                                    let last = shadow_cpu_seq.entry(container).or_insert(0);
+                                    if seq > *last {
+                                        *last = seq;
+                                    }
+                                }
+                                ToAgent::ReclaimMemory { .. } => saw_reclaim = true,
+                            }
+                        }
+                    }
+                    Action::KillContainer(_) => {}
+                }
+            }
+            if saw_reclaim {
+                for a in ctl.on_reclaim_report(now, &[]) {
+                    if let Action::KillContainer(_) = a {}
+                }
+            }
+            // The books must balance no matter what the fabric did.
+            let pool = ctl.allocator().app_pool(app).expect("app");
+            let tracked_cpu = ctl.allocator().tracked_cpu_sum(app);
+            prop_assert!((tracked_cpu - pool.allocated_cpu_cores()).abs() < 1e-6);
+            prop_assert!(tracked_cpu <= omega + 1e-6);
+            let tracked_mem = ctl.allocator().tracked_mem_sum(app);
+            prop_assert_eq!(tracked_mem, pool.allocated_mem_bytes());
+            prop_assert!(tracked_mem <= global_mem);
         }
     }
 

@@ -98,6 +98,7 @@ fn oom_grants_come_from_the_owners_pool_only() {
         ToController::OomEvent {
             container: ContainerId::new(0),
             shortfall_bytes: MIB,
+            current_limit_bytes: 256 * MIB,
         },
     );
     assert!(matches!(
@@ -112,7 +113,10 @@ fn oom_grants_come_from_the_owners_pool_only() {
         .app_pool(TENANT_B)
         .expect("tenant B")
         .unallocated_mem_bytes();
-    assert_eq!(before_b, after_b, "tenant B's memory pool must be untouched");
+    assert_eq!(
+        before_b, after_b,
+        "tenant B's memory pool must be untouched"
+    );
     let pool_a = c.allocator().app_pool(TENANT_A).expect("tenant A");
     assert!(pool_a.unallocated_mem_bytes() < 512 * MIB);
 }
@@ -148,5 +152,8 @@ fn released_capacity_stays_within_the_tenant() {
             stats: throttled(2.0),
         },
     );
-    assert!(!actions.is_empty(), "freed capacity is usable within the tenant");
+    assert!(
+        !actions.is_empty(),
+        "freed capacity is usable within the tenant"
+    );
 }

@@ -36,9 +36,7 @@ fn escra_cuts_serverless_reservations_without_latency_collapse() {
         escra.metrics.cpu_limit_series.mean(),
         vanilla.metrics.cpu_limit_series.mean()
     );
-    assert!(
-        escra.metrics.mem_limit_series.mean() < vanilla.metrics.mem_limit_series.mean()
-    );
+    assert!(escra.metrics.mem_limit_series.mean() < vanilla.metrics.mem_limit_series.mean());
     assert!(escra.metrics.latency.mean_ms() < vanilla.metrics.latency.mean_ms() * 1.25);
 }
 
