@@ -9,7 +9,7 @@ use escra_cfs::{CpuPeriodStats, MIB};
 use escra_cluster::{AppId, ContainerId, NodeId};
 use escra_core::allocator::ResourceAllocator;
 use escra_core::telemetry::ToController;
-use escra_core::{Controller, EscraConfig};
+use escra_core::{Controller, CpuStatsEntry, EscraConfig};
 use escra_simcore::time::SimTime;
 use std::hint::black_box;
 
@@ -83,6 +83,43 @@ fn bench_controller_ingest(c: &mut Criterion) {
                 stats: stats(i.is_multiple_of(5)),
             };
             black_box(ctl.handle(SimTime::ZERO, msg))
+        });
+    });
+    group.bench_function("ingest_cpu_batch/1000_containers", |b| {
+        // The batched, allocation-free path: one per-node batch of 125
+        // entries through `ingest_cpu_batch` with a reused action buffer
+        // — compare per entry against ingest_cpu_stats above.
+        let n = 1_000u64;
+        let nodes = 8u64;
+        let mut ctl = Controller::new(EscraConfig::default());
+        ctl.register_app(AppId::new(0), n as f64, n * 256 * MIB);
+        for i in 0..n {
+            ctl.register_container(
+                ContainerId::new(i),
+                AppId::new(0),
+                NodeId::new(i % nodes),
+                1.0,
+                128 * MIB,
+            )
+            .expect("register");
+        }
+        let mut batch: Vec<CpuStatsEntry> = Vec::with_capacity((n / nodes) as usize);
+        let mut out = Vec::new();
+        let mut node = 0u64;
+        b.iter(|| {
+            node = (node + 1) % nodes;
+            batch.clear();
+            let mut i = node;
+            while i < n {
+                batch.push(CpuStatsEntry {
+                    container: ContainerId::new(i),
+                    stats: stats(i.is_multiple_of(5)),
+                });
+                i += nodes;
+            }
+            out.clear();
+            ctl.ingest_cpu_batch(&batch, &mut out);
+            black_box(out.len())
         });
     });
     group.bench_function("oom_event_grant", |b| {

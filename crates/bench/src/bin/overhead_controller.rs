@@ -3,67 +3,191 @@
 //! container reports once per 100 ms period, so
 //! `containers/core = ingest_rate / 10`. The paper reports 1 192
 //! containers per core (23 859 per 20-core node).
+//!
+//! The ingest rate is measured twice over identical telemetry:
+//!
+//! * **unbatched** — one [`ToController::CpuStats`] per container through
+//!   `Controller::handle`, which allocates a fresh action vector per
+//!   message (the original ingest path);
+//! * **batched** — per-node entry batches through the allocation-free
+//!   `Controller::ingest_cpu_batch` with caller-owned, reused buffers.
+//!
+//! Flags: `--smoke` shortens the run for CI; `--record` writes the
+//! measured numbers to `BENCH_controller.json` at the repo root (the
+//! committed baseline); `--check` fails the process if the batched rate
+//! regressed more than 20% against that committed baseline or lost the
+//! 2× speedup over the pre-optimisation ingest rate.
 
 use escra_bench::write_json;
 use escra_cfs::{CpuPeriodStats, MIB};
 use escra_cluster::{AppId, ContainerId, NodeId};
 use escra_core::telemetry::ToController;
-use escra_core::{Controller, EscraConfig};
-use escra_metrics::{to_json, Table};
+use escra_core::{Controller, ControllerStats, CpuStatsEntry, EscraConfig};
+use escra_metrics::Table;
 use escra_simcore::time::SimTime;
 use std::time::Instant;
 
-fn main() {
-    let containers = 1_000u64;
+/// Ingest rate of the pre-batching Controller (BTreeMap container
+/// lookups, one allocation per handled message), measured on this host
+/// class before the slab/batching optimisation landed — kept here so
+/// `BENCH_controller.json` always carries the before/after pair.
+const PRE_PR_UNBATCHED_MSGS_PER_SEC: f64 = 12_841_013.0;
+
+/// Committed baseline written by `--record`, validated by `--check`.
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+
+const CONTAINERS: u64 = 1_000;
+const NODES: u64 = 16;
+
+fn setup() -> Controller {
     let mut controller = Controller::new(EscraConfig::default());
-    controller.register_app(AppId::new(0), containers as f64, containers * 256 * MIB);
-    for i in 0..containers {
+    controller.register_app(AppId::new(0), CONTAINERS as f64, CONTAINERS * 256 * MIB);
+    for i in 0..CONTAINERS {
         controller
             .register_container(
                 ContainerId::new(i),
                 AppId::new(0),
-                NodeId::new(i % 16),
+                NodeId::new(i % NODES),
                 1.0,
                 200 * MIB,
             )
             .expect("register");
     }
+    controller
+}
 
-    // Alternate busy/idle telemetry so both decision paths run.
-    let stats = |throttled: bool| CpuPeriodStats {
+/// Alternate busy/idle telemetry so both decision paths run.
+fn stats_for(round: u64, i: u64) -> CpuPeriodStats {
+    let throttled = (round + i) % 7 == 0;
+    CpuPeriodStats {
         quota_cores: 1.0,
         usage_us: if throttled { 100_000.0 } else { 30_000.0 },
         unused_runtime_us: if throttled { 0.0 } else { 70_000.0 },
         throttled,
-    };
-    let rounds = 200u64;
-    let start = Instant::now();
+    }
+}
+
+/// Per-message ingest through `handle`, in node-major container order so
+/// both measurements drive the shared pools identically.
+fn measure_unbatched(rounds: u64) -> (f64, u64, ControllerStats) {
+    let mut controller = setup();
     let mut actions = 0u64;
+    let start = Instant::now();
     for round in 0..rounds {
-        for i in 0..containers {
-            let msg = ToController::CpuStats {
-                container: ContainerId::new(i),
-                stats: stats((round + i) % 7 == 0),
-            };
-            actions += controller
-                .handle(SimTime::from_millis(round * 100), msg)
-                .len() as u64;
+        let now = SimTime::from_millis(round * 100);
+        for node in 0..NODES {
+            let mut i = node;
+            while i < CONTAINERS {
+                let msg = ToController::CpuStats {
+                    container: ContainerId::new(i),
+                    stats: stats_for(round, i),
+                };
+                actions += controller.handle(now, msg).len() as u64;
+                i += NODES;
+            }
         }
     }
-    let elapsed = start.elapsed().as_secs_f64();
-    let msgs = (rounds * containers) as f64;
-    let rate = msgs / elapsed;
-    let per_core = rate / 10.0; // each container reports at 10 Hz
+    let rate = (rounds * CONTAINERS) as f64 / start.elapsed().as_secs_f64();
+    (rate, actions, controller.stats())
+}
+
+/// Batched ingest: each node's entries are collected into a reused batch
+/// buffer (modelling the Agent's per-period coalescing) and fed through
+/// the allocation-free `ingest_cpu_batch` with a reused action buffer.
+fn measure_batched(rounds: u64) -> (f64, u64, ControllerStats) {
+    let mut controller = setup();
+    let per_node = (CONTAINERS / NODES) as usize + 1;
+    let mut batches: Vec<Vec<CpuStatsEntry>> =
+        (0..NODES).map(|_| Vec::with_capacity(per_node)).collect();
+    let mut out = Vec::new();
+    let mut actions = 0u64;
+    let start = Instant::now();
+    for round in 0..rounds {
+        for (node, batch) in batches.iter_mut().enumerate() {
+            batch.clear();
+            let mut i = node as u64;
+            while i < CONTAINERS {
+                batch.push(CpuStatsEntry {
+                    container: ContainerId::new(i),
+                    stats: stats_for(round, i),
+                });
+                i += NODES;
+            }
+            controller.ingest_cpu_batch(batch, &mut out);
+            actions += out.len() as u64;
+            out.clear();
+        }
+    }
+    let rate = (rounds * CONTAINERS) as f64 / start.elapsed().as_secs_f64();
+    (rate, actions, controller.stats())
+}
+
+/// Minimal JSON number extraction: the vendored serde_json shim only
+/// serializes, so the committed baseline is read back by string search.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)?;
+    let rest = &json[at + pat.len()..];
+    let rest = &rest[rest.find(':')? + 1..];
+    let end = rest
+        .find(|c| c == ',' || c == '}' || c == '\n')
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn render_json(unbatched: f64, batched: f64) -> String {
+    let per_core = batched / 10.0;
+    format!(
+        "{{\n  \"pre_pr_unbatched_msgs_per_sec\": {PRE_PR_UNBATCHED_MSGS_PER_SEC:.0},\n  \
+         \"unbatched_msgs_per_sec\": {unbatched:.0},\n  \
+         \"batched_entries_per_sec\": {batched:.0},\n  \
+         \"speedup_vs_pre_pr\": {:.2},\n  \
+         \"containers_per_core\": {per_core:.0},\n  \
+         \"containers_per_20core_node\": {:.0}\n}}\n",
+        batched / PRE_PR_UNBATCHED_MSGS_PER_SEC,
+        per_core * 20.0,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let record = args.iter().any(|a| a == "--record");
+    let rounds = if smoke { 40 } else { 200 };
+
+    let (unbatched_rate, actions_a, stats_a) = measure_unbatched(rounds);
+    let (batched_rate, actions_b, stats_b) = measure_batched(rounds);
+    assert_eq!(
+        stats_a, stats_b,
+        "batched and per-message ingest must make identical decisions"
+    );
+    assert_eq!(actions_a, actions_b);
+
+    let msgs = (rounds * CONTAINERS) as f64;
+    let per_core = batched_rate / 10.0; // each container reports at 10 Hz
 
     let mut table = Table::new(vec!["metric", "value"]);
     table.row(vec![
-        "telemetry messages processed".into(),
+        "telemetry entries processed (each path)".into(),
         format!("{msgs:.0}"),
     ]);
-    table.row(vec!["actions emitted".into(), format!("{actions}")]);
+    table.row(vec!["actions emitted".into(), format!("{actions_b}")]);
     table.row(vec![
-        "ingest rate (msg/s/core)".into(),
-        format!("{rate:.0}"),
+        "unbatched ingest rate (msg/s/core)".into(),
+        format!("{unbatched_rate:.0}"),
+    ]);
+    table.row(vec![
+        "batched ingest rate (entries/s/core)".into(),
+        format!("{batched_rate:.0}"),
+    ]);
+    table.row(vec![
+        "pre-optimisation baseline (msg/s/core)".into(),
+        format!("{PRE_PR_UNBATCHED_MSGS_PER_SEC:.0}"),
+    ]);
+    table.row(vec![
+        "speedup vs pre-optimisation".into(),
+        format!("{:.2}x", batched_rate / PRE_PR_UNBATCHED_MSGS_PER_SEC),
     ]);
     table.row(vec![
         "containers manageable per core".into(),
@@ -77,9 +201,42 @@ fn main() {
     println!("{}", table.render());
     println!("(paper: 1 192 containers/core, 23 859 per 20-core node — without the");
     println!(" cAdvisor-based reclamation path, which they call out as replaceable)");
-    let path = write_json(
-        "overhead_controller",
-        &to_json(&(rate, per_core, per_core * 20.0)),
-    );
+
+    let json = render_json(unbatched_rate, batched_rate);
+    let path = write_json("overhead_controller", &json);
     println!("numbers written to {}", path.display());
+
+    if record {
+        std::fs::write(BASELINE_PATH, &json).expect("write committed baseline");
+        println!("committed baseline recorded to {BASELINE_PATH}");
+    }
+    if check {
+        let committed = std::fs::read_to_string(BASELINE_PATH)
+            .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e} (run with --record first)"));
+        let committed_batched = extract_number(&committed, "batched_entries_per_sec")
+            .expect("baseline has batched_entries_per_sec");
+        let committed_pre = extract_number(&committed, "pre_pr_unbatched_msgs_per_sec")
+            .unwrap_or(PRE_PR_UNBATCHED_MSGS_PER_SEC);
+        println!(
+            "check: batched {batched_rate:.0} entries/s vs committed {committed_batched:.0} \
+             (floor {:.0}), pre-optimisation {committed_pre:.0} (2x floor {:.0})",
+            0.8 * committed_batched,
+            2.0 * committed_pre,
+        );
+        if batched_rate < 0.8 * committed_batched {
+            eprintln!(
+                "FAIL: batched ingest rate regressed >20% vs committed baseline \
+                 ({batched_rate:.0} < 0.8 * {committed_batched:.0})"
+            );
+            std::process::exit(1);
+        }
+        if batched_rate < 2.0 * committed_pre {
+            eprintln!(
+                "FAIL: batched ingest rate lost the 2x speedup over the \
+                 pre-optimisation baseline ({batched_rate:.0} < 2 * {committed_pre:.0})"
+            );
+            std::process::exit(1);
+        }
+        println!("check: OK");
+    }
 }

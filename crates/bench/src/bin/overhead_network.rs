@@ -48,9 +48,9 @@ fn main() {
     }
     println!("Escra control-plane network overhead vs container count");
     println!("{}", table.render());
-    println!("(paper: 12.06 Mbps peak at 32 containers on their wire format; the shape");
-    println!(" to check is linear growth with container count, since per-container");
-    println!(" CPU telemetry dominates)");
+    println!("(paper: 12.06 Mbps peak at 32 containers on their wire format; telemetry");
+    println!(" is batched per node, so Mbps grows with the entry payload rate and the");
+    println!(" per-container share of envelope headers drops as containers pack nodes)");
     let path = write_json("overhead_network", &to_json(&dump));
     println!("rows written to {}", path.display());
 }

@@ -43,6 +43,13 @@ impl CpuPeriodStats {
     pub fn slack_cores(&self, period: SimDuration) -> f64 {
         (self.quota_cores - self.usage_cores(period)).max(0.0)
     }
+
+    /// Unused runtime in cores over the period (the windowed scale-down
+    /// statistic the Resource Allocator ingests).
+    #[inline]
+    pub fn unused_cores(&self, period: SimDuration) -> f64 {
+        self.unused_runtime_us / period.as_micros() as f64
+    }
 }
 
 /// A simulated CFS bandwidth controller for one cgroup.
@@ -234,6 +241,7 @@ mod tests {
         assert_eq!(s.unused_runtime_us, 60_000.0);
         assert!((s.usage_cores(bw.period()) - 0.4).abs() < 1e-12);
         assert!((s.slack_cores(bw.period()) - 0.6).abs() < 1e-12);
+        assert!((s.unused_cores(bw.period()) - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -13,15 +13,32 @@ use escra_cluster::{AppId, ContainerId, NodeId};
 use escra_simcore::window::SlidingWindow;
 use std::collections::BTreeMap;
 
-/// Per-container state tracked by the allocator.
+/// Sentinel in the direct-mapped container index: "no slab slot".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Per-container state tracked by the allocator, stored in a dense slab
+/// slot (see [`ResourceAllocator`]).
 #[derive(Debug)]
 struct Track {
     app: AppId,
+    /// Index of the owning app in `ResourceAllocator::app_entries`, so
+    /// the telemetry hot path reaches the pool without a map lookup.
+    app_slot: u32,
+    /// This track's position in its app's `members` list (kept in sync
+    /// across swap-removals so deregistration stays O(1)).
+    member_pos: u32,
     node: NodeId,
     quota_cores: f64,
     mem_limit_bytes: u64,
     throttle_win: SlidingWindow,
     unused_win: SlidingWindow,
+}
+
+/// An application's pool plus the slab slots of its live containers.
+#[derive(Debug)]
+struct AppEntry {
+    pool: DistributedContainer,
+    members: Vec<u32>,
 }
 
 /// A CPU decision for the period that just ended.
@@ -84,6 +101,14 @@ impl std::error::Error for AllocatorError {}
 /// The Resource Allocator: global pools + windowed per-container stats +
 /// the scale-up/scale-down/OOM decision procedures.
 ///
+/// Container state lives in a dense slab (`slab`) addressed through a
+/// direct-mapped index keyed by the raw [`ContainerId`] — ids are
+/// allocated sequentially and never reused (mirroring cgroup ids), so
+/// the index is a flat `Vec<u32>` with a sentinel and every telemetry
+/// lookup is O(1) instead of a `BTreeMap` walk. Freed slots are recycled
+/// through a free list; each app keeps the slot list of its live members
+/// so Σ-sums and deregistration never scan the whole slab.
+///
 /// ```
 /// use escra_core::allocator::ResourceAllocator;
 /// use escra_core::config::EscraConfig;
@@ -99,8 +124,16 @@ impl std::error::Error for AllocatorError {}
 #[derive(Debug)]
 pub struct ResourceAllocator {
     cfg: EscraConfig,
-    apps: BTreeMap<AppId, DistributedContainer>,
-    tracks: BTreeMap<ContainerId, Track>,
+    /// Dense app storage; hot-path access goes through `Track::app_slot`,
+    /// registration-time lookups through `app_index`.
+    app_entries: Vec<AppEntry>,
+    app_index: BTreeMap<AppId, u32>,
+    /// Dense container slab; `None` marks a vacated (recyclable) slot.
+    slab: Vec<Option<Track>>,
+    /// Vacated slab slots awaiting reuse.
+    free: Vec<u32>,
+    /// Direct-mapped `raw ContainerId → slab slot` ([`NO_SLOT`] = absent).
+    index: Vec<u32>,
 }
 
 impl ResourceAllocator {
@@ -108,8 +141,11 @@ impl ResourceAllocator {
     pub fn new(cfg: EscraConfig) -> Self {
         ResourceAllocator {
             cfg,
-            apps: BTreeMap::new(),
-            tracks: BTreeMap::new(),
+            app_entries: Vec::new(),
+            app_index: BTreeMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            index: Vec::new(),
         }
     }
 
@@ -118,18 +154,47 @@ impl ResourceAllocator {
         &self.cfg
     }
 
+    /// The slab slot of a container, if it is registered.
+    #[inline]
+    fn slot_of(&self, container: ContainerId) -> Option<u32> {
+        match self.index.get(container.as_u64() as usize) {
+            Some(&slot) if slot != NO_SLOT => Some(slot),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn track(&self, container: ContainerId) -> Option<&Track> {
+        self.slot_of(container).map(|s| {
+            self.slab[s as usize]
+                .as_ref()
+                .expect("indexed slot is live")
+        })
+    }
+
     /// Registers an application's global limits (the Deployer sends these
-    /// before deploying any containers, §IV-A).
+    /// before deploying any containers, §IV-A). Re-registering an app
+    /// replaces its pool but keeps its member list.
     pub fn register_app(&mut self, app: AppId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
-        self.apps.insert(
-            app,
-            DistributedContainer::new(app, cpu_limit_cores, mem_limit_bytes),
-        );
+        let pool = DistributedContainer::new(app, cpu_limit_cores, mem_limit_bytes);
+        match self.app_index.get(&app) {
+            Some(&slot) => self.app_entries[slot as usize].pool = pool,
+            None => {
+                let slot = self.app_entries.len() as u32;
+                self.app_entries.push(AppEntry {
+                    pool,
+                    members: Vec::new(),
+                });
+                self.app_index.insert(app, slot);
+            }
+        }
     }
 
     /// The global pool of an application.
     pub fn app_pool(&self, app: AppId) -> Option<&DistributedContainer> {
-        self.apps.get(&app)
+        self.app_index
+            .get(&app)
+            .map(|&slot| &self.app_entries[slot as usize].pool)
     }
 
     /// Registers a container with its initial limits, drawing them from
@@ -151,28 +216,47 @@ impl ResourceAllocator {
         initial_cpu_cores: f64,
         initial_mem_bytes: u64,
     ) -> Result<(f64, u64), AllocatorError> {
-        if self.tracks.contains_key(&container) {
+        if self.slot_of(container).is_some() {
             return Err(AllocatorError::DuplicateContainer(container));
         }
-        let pool = self
-            .apps
-            .get_mut(&app)
+        let app_slot = *self
+            .app_index
+            .get(&app)
             .ok_or(AllocatorError::UnknownApp(app))?;
+        let entry = &mut self.app_entries[app_slot as usize];
         // Request at least the configured floors; track exactly what the
         // pool granted so Σ tracked == pool.allocated always holds.
-        let cpu = pool.try_allocate_cpu(initial_cpu_cores.max(self.cfg.min_quota_cores));
-        let mem = pool.try_allocate_mem(initial_mem_bytes.max(self.cfg.min_mem_bytes));
-        self.tracks.insert(
-            container,
-            Track {
-                app,
-                node,
-                quota_cores: cpu,
-                mem_limit_bytes: mem,
-                throttle_win: SlidingWindow::new(self.cfg.window_periods),
-                unused_win: SlidingWindow::new(self.cfg.window_periods),
-            },
-        );
+        let cpu = entry
+            .pool
+            .try_allocate_cpu(initial_cpu_cores.max(self.cfg.min_quota_cores));
+        let mem = entry
+            .pool
+            .try_allocate_mem(initial_mem_bytes.max(self.cfg.min_mem_bytes));
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slab.push(None);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let entry = &mut self.app_entries[app_slot as usize];
+        let member_pos = entry.members.len() as u32;
+        entry.members.push(slot);
+        self.slab[slot as usize] = Some(Track {
+            app,
+            app_slot,
+            member_pos,
+            node,
+            quota_cores: cpu,
+            mem_limit_bytes: mem,
+            throttle_win: SlidingWindow::new(self.cfg.window_periods),
+            unused_win: SlidingWindow::new(self.cfg.window_periods),
+        });
+        let raw = container.as_u64() as usize;
+        if self.index.len() <= raw {
+            self.index.resize(raw + 1, NO_SLOT);
+        }
+        self.index[raw] = slot;
         Ok((cpu, mem))
     }
 
@@ -183,40 +267,54 @@ impl ResourceAllocator {
     ///
     /// [`AllocatorError::UnknownContainer`] for unknown ids.
     pub fn deregister_container(&mut self, container: ContainerId) -> Result<(), AllocatorError> {
-        let track = self
-            .tracks
-            .remove(&container)
+        let slot = self
+            .slot_of(container)
             .ok_or(AllocatorError::UnknownContainer(container))?;
-        if let Some(pool) = self.apps.get_mut(&track.app) {
-            pool.release_cpu(track.quota_cores);
-            pool.release_mem(track.mem_limit_bytes);
+        self.index[container.as_u64() as usize] = NO_SLOT;
+        let track = self.slab[slot as usize]
+            .take()
+            .expect("indexed slot is live");
+        self.free.push(slot);
+        let entry = &mut self.app_entries[track.app_slot as usize];
+        entry.pool.release_cpu(track.quota_cores);
+        entry.pool.release_mem(track.mem_limit_bytes);
+        // O(1) member removal: swap the list's tail into the vacated
+        // position and re-point the moved track at its new position.
+        let pos = track.member_pos as usize;
+        entry.members.swap_remove(pos);
+        let moved = entry.members.get(pos).copied();
+        if let Some(moved_slot) = moved {
+            self.slab[moved_slot as usize]
+                .as_mut()
+                .expect("member slot is live")
+                .member_pos = pos as u32;
         }
         Ok(())
     }
 
     /// The allocator's view of a container's quota.
     pub fn quota_of(&self, container: ContainerId) -> Option<f64> {
-        self.tracks.get(&container).map(|t| t.quota_cores)
+        self.track(container).map(|t| t.quota_cores)
     }
 
     /// The allocator's view of a container's memory limit.
     pub fn mem_limit_of(&self, container: ContainerId) -> Option<u64> {
-        self.tracks.get(&container).map(|t| t.mem_limit_bytes)
+        self.track(container).map(|t| t.mem_limit_bytes)
     }
 
     /// The application a container belongs to.
     pub fn app_of(&self, container: ContainerId) -> Option<AppId> {
-        self.tracks.get(&container).map(|t| t.app)
+        self.track(container).map(|t| t.app)
     }
 
     /// The node hosting a container.
     pub fn node_of(&self, container: ContainerId) -> Option<NodeId> {
-        self.tracks.get(&container).map(|t| t.node)
+        self.track(container).map(|t| t.node)
     }
 
     /// Containers currently registered.
     pub fn container_count(&self) -> usize {
-        self.tracks.len()
+        self.slab.len() - self.free.len()
     }
 
     /// Ingests one per-period CPU statistic and produces the quota
@@ -235,18 +333,17 @@ impl ResourceAllocator {
         container: ContainerId,
         stats: CpuPeriodStats,
     ) -> Result<CpuDecision, AllocatorError> {
-        let period_us = self.cfg.report_period.as_micros() as f64;
-        let track = self
-            .tracks
-            .get_mut(&container)
+        let period = self.cfg.report_period;
+        let slot = self
+            .slot_of(container)
             .ok_or(AllocatorError::UnknownContainer(container))?;
-        let pool = self
-            .apps
-            .get_mut(&track.app)
-            .ok_or(AllocatorError::UnknownApp(track.app))?;
+        let track = self.slab[slot as usize]
+            .as_mut()
+            .expect("indexed slot is live");
+        let pool = &mut self.app_entries[track.app_slot as usize].pool;
 
-        let usage_cores = stats.usage_us / period_us;
-        let unused_cores = stats.unused_runtime_us / period_us;
+        let usage_cores = stats.usage_cores(period);
+        let unused_cores = stats.unused_cores(period);
         track
             .throttle_win
             .push(if stats.throttled { 1.0 } else { 0.0 });
@@ -315,14 +412,13 @@ impl ResourceAllocator {
         container: ContainerId,
         shortfall_bytes: u64,
     ) -> Result<OomDecision, AllocatorError> {
-        let track = self
-            .tracks
-            .get_mut(&container)
+        let slot = self
+            .slot_of(container)
             .ok_or(AllocatorError::UnknownContainer(container))?;
-        let pool = self
-            .apps
-            .get_mut(&track.app)
-            .ok_or(AllocatorError::UnknownApp(track.app))?;
+        let track = self.slab[slot as usize]
+            .as_mut()
+            .expect("indexed slot is live");
+        let pool = &mut self.app_entries[track.app_slot as usize].pool;
         let need = shortfall_bytes.max(self.cfg.oom_grant_bytes);
         if pool.unallocated_mem_bytes() >= need {
             let granted = pool.try_allocate_mem(need);
@@ -346,14 +442,13 @@ impl ResourceAllocator {
         container: ContainerId,
         shortfall_bytes: u64,
     ) -> Result<OomDecision, AllocatorError> {
-        let track = self
-            .tracks
-            .get_mut(&container)
+        let slot = self
+            .slot_of(container)
             .ok_or(AllocatorError::UnknownContainer(container))?;
-        let pool = self
-            .apps
-            .get_mut(&track.app)
-            .ok_or(AllocatorError::UnknownApp(track.app))?;
+        let track = self.slab[slot as usize]
+            .as_mut()
+            .expect("indexed slot is live");
+        let pool = &mut self.app_entries[track.app_slot as usize].pool;
         // Best effort: take min(pool, max(shortfall, grant block)).
         let want = shortfall_bytes.max(self.cfg.oom_grant_bytes);
         let granted = pool.try_allocate_mem(want);
@@ -380,37 +475,43 @@ impl ResourceAllocator {
         container: ContainerId,
         new_limit_bytes: u64,
     ) -> Result<u64, AllocatorError> {
-        let track = self
-            .tracks
-            .get_mut(&container)
+        let slot = self
+            .slot_of(container)
             .ok_or(AllocatorError::UnknownContainer(container))?;
+        let track = self.slab[slot as usize]
+            .as_mut()
+            .expect("indexed slot is live");
         let psi = track.mem_limit_bytes.saturating_sub(new_limit_bytes);
         if psi > 0 {
             track.mem_limit_bytes = new_limit_bytes;
-            if let Some(pool) = self.apps.get_mut(&track.app) {
-                pool.release_mem(psi);
-            }
+            self.app_entries[track.app_slot as usize]
+                .pool
+                .release_mem(psi);
         }
         Ok(psi)
+    }
+
+    /// Σ over an app's live members, in member-list order.
+    fn member_sum<T: std::iter::Sum>(&self, app: AppId, f: impl Fn(&Track) -> T) -> Option<T> {
+        let &slot = self.app_index.get(&app)?;
+        Some(
+            self.app_entries[slot as usize]
+                .members
+                .iter()
+                .map(|&s| f(self.slab[s as usize].as_ref().expect("member slot is live")))
+                .sum(),
+        )
     }
 
     /// Σ of tracked quotas for an app — must equal the pool's allocated
     /// CPU (checked by property tests).
     pub fn tracked_cpu_sum(&self, app: AppId) -> f64 {
-        self.tracks
-            .values()
-            .filter(|t| t.app == app)
-            .map(|t| t.quota_cores)
-            .sum()
+        self.member_sum(app, |t| t.quota_cores).unwrap_or(0.0)
     }
 
     /// Σ of tracked memory limits for an app.
     pub fn tracked_mem_sum(&self, app: AppId) -> u64 {
-        self.tracks
-            .values()
-            .filter(|t| t.app == app)
-            .map(|t| t.mem_limit_bytes)
-            .sum()
+        self.member_sum(app, |t| t.mem_limit_bytes).unwrap_or(0)
     }
 }
 
@@ -604,6 +705,55 @@ mod tests {
             AllocatorError::UnknownContainer(C1).to_string(),
             "unknown container ctr-1"
         );
+    }
+
+    #[test]
+    fn slab_recycles_slots_and_keeps_member_lists_consistent() {
+        let mut a = ResourceAllocator::new(EscraConfig::default());
+        a.register_app(APP, 16.0, 4096 * MIB);
+        for i in 0..4u64 {
+            a.register_container(ContainerId::new(i), APP, NODE, 1.0, 64 * MIB)
+                .unwrap();
+        }
+        // Remove from the middle: the tail member is swapped into its
+        // position and must stay addressable.
+        a.deregister_container(C1).unwrap();
+        assert_eq!(a.container_count(), 3);
+        assert!((a.tracked_cpu_sum(APP) - 3.0).abs() < 1e-9);
+        assert_eq!(a.tracked_mem_sum(APP), 3 * 64 * MIB);
+        // A new registration reuses the vacated slot; the old id stays gone.
+        a.register_container(ContainerId::new(9), APP, NODE, 1.0, 64 * MIB)
+            .unwrap();
+        assert_eq!(a.container_count(), 4);
+        assert!(a.quota_of(C1).is_none());
+        assert_eq!(a.quota_of(ContainerId::new(9)), Some(1.0));
+        // Every surviving member still answers lookups and telemetry.
+        for raw in [0u64, 2, 3, 9] {
+            let cid = ContainerId::new(raw);
+            assert_eq!(a.node_of(cid), Some(NODE));
+            a.on_cpu_stats(cid, stats(1.0, 0.9, false)).unwrap();
+        }
+        // Churn the swapped-in tail again to exercise member_pos repair.
+        a.deregister_container(ContainerId::new(3)).unwrap();
+        a.deregister_container(ContainerId::new(9)).unwrap();
+        assert!(
+            (a.tracked_cpu_sum(APP) - a.app_pool(APP).unwrap().allocated_cpu_cores()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn ghost_ids_beyond_the_index_are_unknown() {
+        let mut a = setup(4.0, 2.0);
+        let ghost = ContainerId::new(1_000_000);
+        assert_eq!(
+            a.on_cpu_stats(ghost, stats(1.0, 1.0, false)),
+            Err(AllocatorError::UnknownContainer(ghost))
+        );
+        assert_eq!(
+            a.deregister_container(ghost),
+            Err(AllocatorError::UnknownContainer(ghost))
+        );
+        assert!(a.node_of(ghost).is_none());
     }
 
     #[test]

@@ -6,15 +6,17 @@
 //! decisions as Agent commands, and launches the periodic reclamation
 //! loop. It makes no allocation decisions itself.
 //!
-//! The Controller is driven by the embedding simulation: `handle` for
-//! each arriving message, `tick` at each time step, and
-//! `on_reclaim_report` when an Agent finishes a sweep. All outputs are
-//! [`Action`] values the embedding applies (with control-plane latency).
+//! The Controller is driven by the embedding simulation: `handle` (or
+//! the allocation-free `handle_into`) for each arriving message, `tick`
+//! at each time step, and `on_reclaim_report` when an Agent finishes a
+//! sweep. All outputs are [`Action`] values the embedding applies (with
+//! control-plane latency).
 
 use crate::agent::ReclaimEntry;
 use crate::allocator::{AllocatorError, CpuDecision, OomDecision, ResourceAllocator};
 use crate::config::EscraConfig;
-use crate::telemetry::{ToAgent, ToController};
+use crate::telemetry::{CpuStatsEntry, ToAgent, ToController};
+use escra_cfs::CpuPeriodStats;
 use escra_cluster::{AppId, ContainerId, NodeId};
 use escra_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -63,6 +65,10 @@ pub struct ControllerStats {
     pub grant_reconciles: u64,
     /// Pending grants dropped after exhausting their retries.
     pub grants_abandoned: u64,
+    /// Wire registrations rejected by the Allocator (unknown app,
+    /// duplicate id). Silently swallowing these hid misconfigured
+    /// deployments; now they are counted and logged in debug builds.
+    pub register_errors: u64,
 }
 
 /// A memory grant the Controller sent but has not yet seen acked. If the
@@ -220,10 +226,25 @@ impl Controller {
 
     /// Handles one inbound message and returns the actions to carry out.
     ///
+    /// Thin compatibility wrapper over [`Controller::handle_into`] that
+    /// allocates a fresh action vector per call. Hot loops (the per-node
+    /// telemetry ingest) should hold one buffer and call `handle_into`
+    /// instead.
+    pub fn handle(&mut self, now: SimTime, msg: ToController) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.handle_into(now, msg, &mut out);
+        out
+    }
+
+    /// Handles one inbound message, appending the actions to carry out
+    /// to `out` (the buffer is *not* cleared — the caller owns it and
+    /// drains it between calls). With a warm buffer the steady-state
+    /// telemetry path allocates nothing.
+    ///
     /// Unknown containers are ignored (they may have deregistered while
     /// the message was in flight) — the Controller must not crash on
     /// stale telemetry.
-    pub fn handle(&mut self, now: SimTime, msg: ToController) -> Vec<Action> {
+    pub fn handle_into(&mut self, now: SimTime, msg: ToController, out: &mut Vec<Action>) {
         match msg {
             ToController::Register {
                 container,
@@ -233,44 +254,26 @@ impl Controller {
                 // Registration without explicit limits: bootstrap from the
                 // pool evenly (runtime-created pods carry their own spec
                 // through `register_container` instead).
-                self.register_container(container, app, node, 1.0, 256 * escra_cfs::MIB)
-                    .unwrap_or_default()
-            }
-            ToController::CpuStats { container, stats } => {
-                self.stats.cpu_stats_ingested += 1;
-                match self.allocator.on_cpu_stats(container, stats) {
-                    Ok(
-                        decision @ (CpuDecision::ScaleUp { .. } | CpuDecision::ScaleDown { .. }),
-                    ) => {
-                        let new_quota_cores = match decision {
-                            CpuDecision::ScaleUp { new_quota_cores } => {
-                                self.stats.scale_ups += 1;
-                                new_quota_cores
-                            }
-                            CpuDecision::ScaleDown { new_quota_cores } => {
-                                self.stats.scale_downs += 1;
-                                new_quota_cores
-                            }
-                            CpuDecision::Hold => unreachable!(),
-                        };
-                        self.stats.quota_updates += 1;
-                        match self.allocator.node_of(container) {
-                            Some(node) => {
-                                let seq = self.next_seq();
-                                vec![Action::Agent {
-                                    node,
-                                    cmd: ToAgent::SetCpuQuota {
-                                        container,
-                                        quota_cores: new_quota_cores,
-                                        seq,
-                                    },
-                                }]
-                            }
-                            None => Vec::new(),
+                match self.register_container(container, app, node, 1.0, 256 * escra_cfs::MIB) {
+                    Ok(actions) => out.extend(actions),
+                    Err(err) => {
+                        // A rejected wire registration means a container is
+                        // running unmanaged — never swallow it silently.
+                        self.stats.register_errors += 1;
+                        if cfg!(debug_assertions) {
+                            eprintln!(
+                                "escra-controller: wire registration of {container} \
+                                 (app {app}, node {node}) rejected: {err}"
+                            );
                         }
                     }
-                    Ok(CpuDecision::Hold) | Err(_) => Vec::new(),
                 }
+            }
+            ToController::CpuStats { container, stats } => {
+                self.ingest_cpu_stats(container, stats, out);
+            }
+            ToController::CpuStatsBatch { entries, .. } => {
+                self.ingest_cpu_batch(&entries, out);
             }
             ToController::OomEvent {
                 container,
@@ -289,27 +292,25 @@ impl Controller {
                     if tracked > current_limit_bytes {
                         self.stats.grant_reconciles += 1;
                         let action = self.mem_grant_action(now, node, container, tracked);
-                        return vec![action];
+                        out.push(action);
+                        return;
                     }
                 }
                 match self.allocator.on_oom(container, shortfall_bytes) {
                     Ok(OomDecision::Grant { new_limit_bytes }) => {
                         self.stats.mem_grants += 1;
                         self.stats.ooms_absorbed += 1;
-                        match self.allocator.node_of(container) {
-                            Some(node) => {
-                                let action =
-                                    self.mem_grant_action(now, node, container, new_limit_bytes);
-                                vec![action]
-                            }
-                            None => Vec::new(),
+                        if let Some(node) = self.allocator.node_of(container) {
+                            let action =
+                                self.mem_grant_action(now, node, container, new_limit_bytes);
+                            out.push(action);
                         }
                     }
                     Ok(OomDecision::NeedReclaim) => {
                         self.pending_ooms.push((container, shortfall_bytes));
-                        self.launch_reclaim()
+                        out.extend(self.launch_reclaim());
                     }
-                    Ok(OomDecision::Kill) | Err(_) => Vec::new(),
+                    Ok(OomDecision::Kill) | Err(_) => {}
                 }
             }
             ToController::LimitAck { container, seq } => {
@@ -318,9 +319,59 @@ impl Controller {
                         self.pending_mem_grants.remove(&container);
                     }
                 }
-                Vec::new()
             }
         }
+    }
+
+    /// Ingests one node's batched per-period statistics, exactly as if
+    /// each entry had arrived as its own [`ToController::CpuStats`]
+    /// message in entry order (a property test holds the two paths to
+    /// decision-for-decision equality). Appends actions to `out` without
+    /// clearing it.
+    pub fn ingest_cpu_batch(&mut self, entries: &[CpuStatsEntry], out: &mut Vec<Action>) {
+        for entry in entries {
+            self.ingest_cpu_stats(entry.container, entry.stats, out);
+        }
+    }
+
+    /// One container's end-of-period statistic: feed the Allocator and,
+    /// if it decides to move the quota, emit the Agent command.
+    ///
+    /// Counters are bumped only when an [`Action`] is actually emitted:
+    /// a decision for a container whose node is unknown (deregistered
+    /// with telemetry in flight) changes nothing on any Agent, so it
+    /// must not inflate `quota_updates`/`scale_ups`/`scale_downs` — the
+    /// §VI-I overhead tables derive messages-on-the-wire from them.
+    fn ingest_cpu_stats(
+        &mut self,
+        container: ContainerId,
+        stats: CpuPeriodStats,
+        out: &mut Vec<Action>,
+    ) {
+        self.stats.cpu_stats_ingested += 1;
+        let (new_quota_cores, is_scale_up) = match self.allocator.on_cpu_stats(container, stats) {
+            Ok(CpuDecision::ScaleUp { new_quota_cores }) => (new_quota_cores, true),
+            Ok(CpuDecision::ScaleDown { new_quota_cores }) => (new_quota_cores, false),
+            Ok(CpuDecision::Hold) | Err(_) => return,
+        };
+        let Some(node) = self.allocator.node_of(container) else {
+            return;
+        };
+        self.stats.quota_updates += 1;
+        if is_scale_up {
+            self.stats.scale_ups += 1;
+        } else {
+            self.stats.scale_downs += 1;
+        }
+        let seq = self.next_seq();
+        out.push(Action::Agent {
+            node,
+            cmd: ToAgent::SetCpuQuota {
+                container,
+                quota_cores: new_quota_cores,
+                seq,
+            },
+        });
     }
 
     /// Periodic work: launches the proactive reclamation loop every
@@ -756,6 +807,214 @@ mod tests {
         assert_eq!(retries_seen, max);
         assert_eq!(c.pending_grant_count(), 0);
         assert_eq!(c.stats().grants_abandoned, 1);
+    }
+
+    #[test]
+    fn ack_for_the_retry_seq_clears_the_grant_but_a_straggler_does_not() {
+        // Regression for the retry/ack seq interaction: the retry must
+        // carry a *fresh* seq in the pending-grant table, so an ack for
+        // the original (possibly lost) send cannot clear the retry, while
+        // the ack for the retry itself does.
+        let (mut c, _granted, first_seq) = controller_with_unacked_grant();
+        let actions = c.tick(SimTime::from_millis(600));
+        let retry_seq = match actions[0] {
+            Action::Agent {
+                cmd: ToAgent::SetMemLimit { seq, .. },
+                ..
+            } => seq,
+            ref other => panic!("expected a re-sent grant, got {other:?}"),
+        };
+        assert!(retry_seq > first_seq);
+        // Straggler ack for the original send: the retry stays pending.
+        c.handle(
+            SimTime::from_millis(700),
+            ToController::LimitAck {
+                container: C0,
+                seq: first_seq,
+            },
+        );
+        assert_eq!(c.pending_grant_count(), 1);
+        // Ack carrying the retry's seq: cleared, and no more retry
+        // traffic on later ticks (only the periodic reclaim sweep).
+        c.handle(
+            SimTime::from_millis(800),
+            ToController::LimitAck {
+                container: C0,
+                seq: retry_seq,
+            },
+        );
+        assert_eq!(c.pending_grant_count(), 0);
+        let later = c.tick(SimTime::from_secs(2));
+        assert!(later.iter().all(|a| !matches!(
+            a,
+            Action::Agent {
+                cmd: ToAgent::SetMemLimit { .. },
+                ..
+            }
+        )));
+        assert_eq!(c.stats().grant_retries, 1);
+    }
+
+    #[test]
+    fn rejected_wire_registration_is_counted() {
+        // App was never registered: the old path swallowed the error via
+        // unwrap_or_default() and the container ran unmanaged, invisibly.
+        let mut c = Controller::new(EscraConfig::default());
+        let actions = c.handle(
+            SimTime::ZERO,
+            ToController::Register {
+                container: C0,
+                app: APP,
+                node: N0,
+            },
+        );
+        assert!(actions.is_empty());
+        assert_eq!(c.stats().register_errors, 1);
+        // A duplicate id is rejected and counted too.
+        c.register_app(APP, 8.0, 1024 * MIB);
+        c.register_container(C0, APP, N0, 1.0, 256 * MIB).unwrap();
+        c.handle(
+            SimTime::ZERO,
+            ToController::Register {
+                container: C0,
+                app: APP,
+                node: N0,
+            },
+        );
+        assert_eq!(c.stats().register_errors, 2);
+        // A well-formed wire registration still bootstraps cgroups.
+        let actions = c.handle(
+            SimTime::ZERO,
+            ToController::Register {
+                container: ContainerId::new(1),
+                app: APP,
+                node: N0,
+            },
+        );
+        assert_eq!(actions.len(), 2);
+        assert_eq!(c.stats().register_errors, 2);
+    }
+
+    #[test]
+    fn quota_counters_match_emitted_actions() {
+        // The §VI-I tables derive wire messages from these counters, so
+        // they must count emitted Actions, not Allocator decisions.
+        let mut c = Controller::new(EscraConfig::default());
+        c.register_app(APP, 8.0, 1024 * MIB);
+        for i in 0..4u64 {
+            c.register_container(ContainerId::new(i), APP, N0, 1.0, 64 * MIB)
+                .unwrap();
+        }
+        let mut emitted = 0u64;
+        for round in 0..50u64 {
+            for i in 0..4u64 {
+                let quota = c.allocator().quota_of(ContainerId::new(i)).unwrap();
+                let stats = if (round + i) % 3 == 0 {
+                    throttled_stats(quota)
+                } else {
+                    CpuPeriodStats {
+                        quota_cores: quota,
+                        usage_us: quota * 10_000.0,
+                        unused_runtime_us: quota * 90_000.0,
+                        throttled: false,
+                    }
+                };
+                emitted += c
+                    .handle(
+                        SimTime::from_millis(round * 100),
+                        ToController::CpuStats {
+                            container: ContainerId::new(i),
+                            stats,
+                        },
+                    )
+                    .iter()
+                    .filter(|a| {
+                        matches!(
+                            a,
+                            Action::Agent {
+                                cmd: ToAgent::SetCpuQuota { .. },
+                                ..
+                            }
+                        )
+                    })
+                    .count() as u64;
+            }
+        }
+        let s = c.stats();
+        assert!(emitted > 0, "workload must trigger some quota updates");
+        assert_eq!(s.quota_updates, emitted);
+        assert_eq!(s.scale_ups + s.scale_downs, s.quota_updates);
+    }
+
+    #[test]
+    fn batched_ingest_matches_per_entry_ingest() {
+        // Smoke-level check of the batch/single equivalence (the property
+        // test in tests/invariants_prop.rs drives this much harder).
+        let mk = || {
+            let mut c = Controller::new(EscraConfig::default());
+            c.register_app(APP, 8.0, 1024 * MIB);
+            for i in 0..3u64 {
+                c.register_container(ContainerId::new(i), APP, N0, 1.0, 64 * MIB)
+                    .unwrap();
+            }
+            c
+        };
+        let (mut single, mut batched) = (mk(), mk());
+        for round in 0..20u64 {
+            let entries: Vec<CpuStatsEntry> = (0..3u64)
+                .map(|i| CpuStatsEntry {
+                    container: ContainerId::new(i),
+                    stats: throttled_stats(
+                        single.allocator().quota_of(ContainerId::new(i)).unwrap(),
+                    ),
+                })
+                .collect();
+            let now = SimTime::from_millis(round * 100);
+            let mut a = Vec::new();
+            for e in &entries {
+                single.handle_into(
+                    now,
+                    ToController::CpuStats {
+                        container: e.container,
+                        stats: e.stats,
+                    },
+                    &mut a,
+                );
+            }
+            let b = single_batch_actions(&mut batched, now, entries);
+            assert_eq!(a, b, "round {round}");
+        }
+        assert_eq!(single.stats(), batched.stats());
+    }
+
+    fn single_batch_actions(
+        c: &mut Controller,
+        now: SimTime,
+        entries: Vec<CpuStatsEntry>,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        c.handle_into(
+            now,
+            ToController::CpuStatsBatch { node: N0, entries },
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn handle_into_appends_without_clearing() {
+        let mut c = controller_with_one();
+        let mut out = vec![Action::KillContainer(ContainerId::new(99))];
+        c.handle_into(
+            SimTime::ZERO,
+            ToController::CpuStats {
+                container: C0,
+                stats: throttled_stats(2.0),
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 2, "prior contents must be preserved");
+        assert!(matches!(out[0], Action::KillContainer(_)));
     }
 
     #[test]

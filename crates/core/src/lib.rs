@@ -72,7 +72,7 @@ pub use config::EscraConfig;
 pub use controller::{Action, Controller, ControllerStats};
 pub use deployer::{deploy_app, initial_cpu_limit, initial_mem_limit, AppConfig};
 pub use distributed_container::DistributedContainer;
-pub use telemetry::{ToAgent, ToController};
+pub use telemetry::{CpuStatsEntry, ToAgent, ToController};
 pub use watcher::ContainerWatcher;
 
 /// Convenient re-exports of the most used types.
@@ -83,5 +83,5 @@ pub mod prelude {
     pub use crate::controller::{Action, Controller};
     pub use crate::deployer::{deploy_app, AppConfig};
     pub use crate::distributed_container::DistributedContainer;
-    pub use crate::telemetry::{ToAgent, ToController};
+    pub use crate::telemetry::{CpuStatsEntry, ToAgent, ToController};
 }

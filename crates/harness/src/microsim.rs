@@ -30,7 +30,8 @@ use escra_cluster::AppId;
 use escra_cluster::{Cluster, ContainerId, ContainerSpec, NodeId, NodeSpec};
 use escra_core::telemetry::{ToController, LIMIT_UPDATE_WIRE_BYTES, RECLAIM_RPC_WIRE_BYTES};
 use escra_core::{
-    deploy_app, Action, Agent, AgentReport, AppConfig, Controller, ReclaimEntry, ToAgent,
+    deploy_app, Action, Agent, AgentReport, AppConfig, Controller, CpuStatsEntry, ReclaimEntry,
+    ToAgent,
 };
 use escra_metrics::RunMetrics;
 use escra_net::{Addr, BandwidthAccountant, FaultDecision, FaultInjector, FaultPlan, FaultStats};
@@ -1013,20 +1014,35 @@ impl<'a> Sim<'a> {
         } = &mut self.mode
         {
             let mut killed: Vec<ContainerId> = Vec::new();
+            // Each node's Agent coalesces its containers' period stats
+            // into ONE datagram (entries in container order), so the UDP
+            // envelope is paid once per node per period instead of once
+            // per container — the §VI-I batching optimisation. The fault
+            // fabric sees one message per node: a drop now loses the
+            // whole node's period, matching a lost datagram.
+            let node_count = self.cluster.nodes().len();
+            let mut batches: Vec<Vec<CpuStatsEntry>> = vec![Vec::new(); node_count];
             for (idx, (running, stats)) in period_stats.iter().enumerate() {
                 if !running {
                     continue;
                 }
                 let cid = self.containers[idx];
                 let node = self.cluster.container(cid).expect("container").node();
+                batches[node.as_u64() as usize].push(CpuStatsEntry {
+                    container: cid,
+                    stats: *stats,
+                });
+            }
+            for (node_idx, entries) in batches.into_iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                let node = NodeId::new(node_idx as u64);
                 net.send(
                     now,
                     node_addr(node),
                     controller_addr(),
-                    Envelope::ToCtl(ToController::CpuStats {
-                        container: cid,
-                        stats: *stats,
-                    }),
+                    Envelope::ToCtl(ToController::CpuStatsBatch { node, entries }),
                     accountant,
                 );
                 pump_control_plane(
@@ -1040,9 +1056,9 @@ impl<'a> Sim<'a> {
                 );
             }
             // Periodic reclamation loop + grant-retry timers.
-            let actions = controller.tick(now);
+            let mut actions = controller.tick(now);
             dispatch_actions(
-                actions,
+                &mut actions,
                 &mut self.cluster,
                 net,
                 accountant,
@@ -1102,14 +1118,14 @@ fn apply_action(
 /// wire (and can be dropped/duplicated/delayed); kills are local to the
 /// Controller's authority and take effect immediately.
 fn dispatch_actions(
-    actions: Vec<Action>,
+    actions: &mut Vec<Action>,
     cluster: &mut Cluster,
     net: &mut ControlPlane,
     accountant: &mut BandwidthAccountant,
     now: SimTime,
     killed: &mut Vec<ContainerId>,
 ) {
-    for action in actions {
+    for action in actions.drain(..) {
         match action {
             Action::Agent { node, cmd } => net.send(
                 now,
@@ -1145,6 +1161,9 @@ fn pump_control_plane(
     // Backstop against a (non-existent today) message cycle; real
     // cascades are grant → ack → done and terminate in a few rounds.
     let mut guard = 0u32;
+    // One action buffer for the whole pump: the steady-state telemetry
+    // path through `handle_into` then allocates nothing per message.
+    let mut actions: Vec<Action> = Vec::new();
     loop {
         while let Some((_, env)) = net.delayed.pop_due(now) {
             net.ready.push_back(env);
@@ -1160,8 +1179,8 @@ fn pump_control_plane(
             }
             match env {
                 Envelope::ToCtl(msg) => {
-                    let actions = controller.handle(now, msg);
-                    dispatch_actions(actions, cluster, net, accountant, now, killed);
+                    controller.handle_into(now, msg, &mut actions);
+                    dispatch_actions(&mut actions, cluster, net, accountant, now, killed);
                 }
                 Envelope::ToNode(node, cmd) => {
                     let report = agents
@@ -1194,8 +1213,8 @@ fn pump_control_plane(
             }
         }
         if !reclaim_entries.is_empty() {
-            let actions = controller.on_reclaim_report(now, &reclaim_entries);
-            dispatch_actions(actions, cluster, net, accountant, now, killed);
+            let mut actions = controller.on_reclaim_report(now, &reclaim_entries);
+            dispatch_actions(&mut actions, cluster, net, accountant, now, killed);
         }
     }
 }

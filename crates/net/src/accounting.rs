@@ -3,6 +3,26 @@
 use escra_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Wire size of a batched report that shares one envelope across many
+/// entries: one `header` (IP/UDP framing plus the per-node tag) is
+/// charged per message, and each entry adds only its payload bytes.
+///
+/// This is the arithmetic behind per-node telemetry batching (§VI-I):
+/// `n` containers reporting individually pay `n` full envelopes, while a
+/// node-level batch pays one, so control-plane Mbps grows with the
+/// *payload* rate instead of the message rate.
+///
+/// ```
+/// use escra_net::batch_wire_bytes;
+/// // One shared 40-byte envelope + 24 bytes per container...
+/// assert_eq!(batch_wire_bytes(40, 24, 10), 280);
+/// // ...versus 10 × (40 + 24) = 640 for individual messages.
+/// assert!(batch_wire_bytes(40, 24, 10) < 10 * batch_wire_bytes(40, 24, 1));
+/// ```
+pub const fn batch_wire_bytes(header_bytes: u64, entry_bytes: u64, entries: u64) -> u64 {
+    header_bytes + entry_bytes * entries
+}
+
 /// Accumulates bytes sent per one-second bucket.
 ///
 /// ```
@@ -113,6 +133,19 @@ mod tests {
         acc.record(SimTime::from_secs(3), 1_000_000);
         // 2 MB over 4 seconds = 4 Mbps.
         assert!((acc.mean_mbps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_telemetry_charges_one_shared_header() {
+        // A node with 32 containers reporting at 10 Hz: batching pays the
+        // envelope once per period instead of once per container.
+        let unbatched = 32 * batch_wire_bytes(40, 24, 1);
+        let batched = batch_wire_bytes(40, 24, 32);
+        assert_eq!(unbatched, 2048);
+        assert_eq!(batched, 808);
+        // An empty batch is just the envelope (nodes with no running
+        // containers send nothing, but the arithmetic must not underflow).
+        assert_eq!(batch_wire_bytes(40, 24, 0), 40);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod accounting;
 pub mod fabric;
 pub mod fault;
 
-pub use accounting::BandwidthAccountant;
+pub use accounting::{batch_wire_bytes, BandwidthAccountant};
 pub use fabric::{Addr, LatencyModel, Network};
 pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultStats, Partition};

@@ -13,6 +13,12 @@ cargo test -q
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
+echo "== bench smoke (controller ingest vs committed baseline) =="
+# One short overhead_controller round: validates the batched ingest path
+# end to end and fails on a >20% ingest-rate regression (or a lost 2x
+# speedup over the pre-batching baseline) vs BENCH_controller.json.
+cargo run -q -p escra-bench --release --bin overhead_controller -- --smoke --check
+
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 

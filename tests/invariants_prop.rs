@@ -6,7 +6,7 @@ use escra::cfs::{ChargeOutcome, CpuBandwidth, MemCgroup};
 use escra::cluster::{AppId, ContainerId, NodeId};
 use escra::core::allocator::ResourceAllocator;
 use escra::core::telemetry::ToController;
-use escra::core::{Action, Controller, EscraConfig, ToAgent};
+use escra::core::{Action, Controller, CpuStatsEntry, EscraConfig, ToAgent};
 use escra::net::{Addr, FaultDecision, FaultInjector, FaultPlan};
 use escra::simcore::histogram::LogHistogram;
 use escra::simcore::stats::percentile;
@@ -299,6 +299,174 @@ proptest! {
             let tracked_mem = ctl.allocator().tracked_mem_sum(app);
             prop_assert_eq!(tracked_mem, pool.allocated_mem_bytes());
             prop_assert!(tracked_mem <= global_mem);
+        }
+    }
+
+    /// Per-node telemetry batching is a pure wire optimisation: a
+    /// Controller fed `CpuStatsBatch` messages makes decision-for-decision
+    /// the same choices as one fed the same entries as individual
+    /// `CpuStats` messages in batch order — same Actions (with the same
+    /// seqs), same ControllerStats, same pool accounting — for arbitrary
+    /// telemetry sequences, OOM interleavings, and fault plans applied to
+    /// the outgoing command stream.
+    #[test]
+    fn batched_ingest_is_decision_identical_to_singles(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.6,
+        dup in 0.0f64..0.4,
+        spike in 0.0f64..0.4,
+        rounds in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u8>(), any::<bool>(), 0u64..6),
+            1..80,
+        ),
+    ) {
+        const N: u64 = 6;
+        let app = AppId::new(0);
+        let mk = || {
+            let mut c = Controller::new(EscraConfig::default());
+            c.register_app(app, 12.0, 4 << 30);
+            for i in 0..N {
+                c.register_container(ContainerId::new(i), app, NodeId::new(i % 2), 2.0, 256 << 20)
+                    .expect("register");
+            }
+            c
+        };
+        let mut single = mk();
+        let mut batched = mk();
+
+        let plan = FaultPlan::none()
+            .with_loss(loss)
+            .with_duplicates(dup)
+            .with_delay_spikes(spike, SimDuration::from_millis(700));
+        let mut fabric = FaultInjector::new(plan, seed);
+        let ctl_addr = Addr::from_raw(0);
+        let node_addr = |n: NodeId| Addr::from_raw(1 + n.as_u64());
+
+        // Shadow Agent limits: (applied limit, last seq) per container.
+        let mut shadow_mem: BTreeMap<ContainerId, (u64, u64)> = BTreeMap::new();
+        let mut feedback: Vec<ToController> = Vec::new();
+        let mut now = SimTime::ZERO;
+
+        for (mask, usage_seed, throttle_mask, oom, oom_cid) in rounds {
+            now += SimDuration::from_millis(100);
+            // Per-node batches in container order, exactly as the
+            // harness's Agents coalesce them.
+            let mut batches: Vec<Vec<CpuStatsEntry>> = vec![Vec::new(); 2];
+            for i in 0..N {
+                if mask & (1 << i) == 0 {
+                    continue;
+                }
+                let container = ContainerId::new(i);
+                let qa = single.allocator().quota_of(container).expect("tracked");
+                let qb = batched.allocator().quota_of(container).expect("tracked");
+                prop_assert_eq!(qa.to_bits(), qb.to_bits(), "quota divergence at {}", container);
+                let frac = ((usage_seed >> (8 * i)) & 0xFF) as f64 / 255.0;
+                let usage = qa * frac;
+                let stats = escra::cfs::CpuPeriodStats {
+                    quota_cores: qa,
+                    usage_us: usage * 100_000.0,
+                    unused_runtime_us: (qa - usage) * 100_000.0,
+                    throttled: throttle_mask & (1 << i) != 0,
+                };
+                batches[(i % 2) as usize].push(CpuStatsEntry { container, stats });
+            }
+            let mut acts_single: Vec<Action> = Vec::new();
+            let mut acts_batched: Vec<Action> = Vec::new();
+            for (n, entries) in batches.iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                for e in entries {
+                    single.handle_into(
+                        now,
+                        ToController::CpuStats { container: e.container, stats: e.stats },
+                        &mut acts_single,
+                    );
+                }
+                batched.handle_into(
+                    now,
+                    ToController::CpuStatsBatch {
+                        node: NodeId::new(n as u64),
+                        entries: entries.clone(),
+                    },
+                    &mut acts_batched,
+                );
+            }
+            // OOM events report the shadow limit (so lost grants surface
+            // as stale limits); acks from the last round's deliveries go
+            // to both controllers as identical messages.
+            if oom {
+                let container = ContainerId::new(oom_cid % N);
+                let limit = shadow_mem
+                    .get(&container)
+                    .map(|(l, _)| *l)
+                    .unwrap_or_else(|| {
+                        single.allocator().mem_limit_of(container).expect("tracked")
+                    });
+                let msg = ToController::OomEvent {
+                    container,
+                    shortfall_bytes: 8 << 20,
+                    current_limit_bytes: limit,
+                };
+                single.handle_into(now, msg.clone(), &mut acts_single);
+                batched.handle_into(now, msg, &mut acts_batched);
+            }
+            for msg in feedback.drain(..) {
+                single.handle_into(now, msg.clone(), &mut acts_single);
+                batched.handle_into(now, msg, &mut acts_batched);
+            }
+            acts_single.extend(single.tick(now));
+            acts_batched.extend(batched.tick(now));
+            prop_assert_eq!(&acts_single, &acts_batched, "action divergence");
+            prop_assert_eq!(single.stats(), batched.stats());
+
+            // The action streams are equal, so one shadow world serves
+            // both; the fault fabric decides each command's fate once.
+            let mut saw_reclaim = false;
+            for a in acts_single {
+                if let Action::Agent { node, cmd } = a {
+                    let copies = match fabric.decide(now, ctl_addr, node_addr(node)) {
+                        FaultDecision::Drop => 0,
+                        FaultDecision::Deliver { copies, .. } => copies,
+                    };
+                    for _ in 0..copies {
+                        match cmd {
+                            ToAgent::SetMemLimit { container, limit_bytes, seq } => {
+                                let entry = shadow_mem.entry(container).or_insert((0, 0));
+                                if seq > entry.1 {
+                                    *entry = (limit_bytes, seq);
+                                    feedback.push(ToController::LimitAck { container, seq });
+                                }
+                            }
+                            ToAgent::SetCpuQuota { .. } => {}
+                            ToAgent::ReclaimMemory { .. } => saw_reclaim = true,
+                        }
+                    }
+                }
+            }
+            if saw_reclaim {
+                let ra = single.on_reclaim_report(now, &[]);
+                let rb = batched.on_reclaim_report(now, &[]);
+                prop_assert_eq!(ra, rb);
+            }
+
+            // Pool accounting and pending-grant books match bit for bit.
+            let pa = single.allocator().app_pool(app).expect("app");
+            let pb = batched.allocator().app_pool(app).expect("app");
+            prop_assert_eq!(
+                pa.allocated_cpu_cores().to_bits(),
+                pb.allocated_cpu_cores().to_bits()
+            );
+            prop_assert_eq!(pa.allocated_mem_bytes(), pb.allocated_mem_bytes());
+            prop_assert_eq!(
+                single.allocator().tracked_cpu_sum(app).to_bits(),
+                batched.allocator().tracked_cpu_sum(app).to_bits()
+            );
+            prop_assert_eq!(
+                single.allocator().tracked_mem_sum(app),
+                batched.allocator().tracked_mem_sum(app)
+            );
+            prop_assert_eq!(single.pending_grant_count(), batched.pending_grant_count());
         }
     }
 
