@@ -2,7 +2,7 @@
 //! in throughput of Escra vs Autopilot and vs Static-1.5×, for all four
 //! applications × four workloads.
 
-use escra_bench::{run_matrix, write_json, RUN_SECS, SEED};
+use escra_bench::{parse_sweep_args, run_matrix_args, write_json};
 use escra_metrics::{to_json, Table};
 use serde::Serialize;
 
@@ -16,7 +16,7 @@ struct Bar {
 }
 
 fn main() {
-    let cells = run_matrix(RUN_SECS, SEED);
+    let cells = run_matrix_args(&parse_sweep_args());
     let mut table = Table::new(vec![
         "app",
         "workload",

@@ -1,10 +1,14 @@
 //! Regenerates **Fig. 5**: CPU slack CDFs for the four highlighted
 //! panels — TrainTicket-Fixed, Teastore-Alibaba, HipsterShop-Exp,
 //! MediaMicroservice-Burst — comparing Escra, Autopilot and Static.
+//!
+//! The panels run on the deterministic parallel sweep runner; pass
+//! `--serial` to re-run serially and assert byte-identical output
+//! (the CI gate), `--smoke` for a short run, `--threads N` to size the
+//! pool.
 
-use escra_bench::{paper_apps_named, paper_workloads, run_cell, write_json, RUN_SECS, SEED};
+use escra_bench::{panel_cells, parse_sweep_args, run_cells_args, write_json};
 use escra_metrics::{downsample_cdf, to_json, Table};
-use std::collections::BTreeMap;
 
 /// The four panels of the figure: (app, workload).
 pub const PANELS: [(&str, &str); 4] = [
@@ -15,20 +19,14 @@ pub const PANELS: [(&str, &str); 4] = [
 ];
 
 fn main() {
-    let apps: BTreeMap<_, _> = paper_apps_named().into_iter().collect();
-    let workloads: BTreeMap<_, _> = paper_workloads().into_iter().collect();
+    let args = parse_sweep_args();
+    let cells = run_cells_args(panel_cells(&PANELS), &args);
     let mut dump = Vec::new();
-    for (app_name, wl_name) in PANELS {
-        eprintln!("running {app_name} x {wl_name} ...");
-        let cell = run_cell(
-            app_name,
-            &apps[app_name],
-            wl_name,
-            &workloads[wl_name],
-            RUN_SECS,
-            SEED,
+    for cell in &cells {
+        println!(
+            "\nFig. 5 panel: {} - {} (CPU slack, cores)",
+            cell.app, cell.workload
         );
-        println!("\nFig. 5 panel: {app_name} - {wl_name} (CPU slack, cores)");
         let mut table = Table::new(vec!["policy", "p25", "p50", "p75", "p90", "p99"]);
         for m in [&cell.escra, &cell.autopilot, &cell.static_1_5] {
             table.row(vec![
@@ -40,8 +38,8 @@ fn main() {
                 format!("{:.2}", m.slack.cpu_p(99.0)),
             ]);
             dump.push((
-                app_name,
-                wl_name,
+                cell.app,
+                cell.workload,
                 m.policy.clone(),
                 downsample_cdf(&m.slack.cpu_cdf(), 200),
             ));

@@ -1,9 +1,13 @@
 //! Regenerates **Fig. 6**: memory slack CDFs (MiB, log-scale x in the
 //! paper) for the same four panels as Fig. 5.
+//!
+//! The panels run on the deterministic parallel sweep runner; pass
+//! `--serial` to re-run serially and assert byte-identical output
+//! (the CI gate), `--smoke` for a short run, `--threads N` to size the
+//! pool.
 
-use escra_bench::{paper_apps_named, paper_workloads, run_cell, write_json, RUN_SECS, SEED};
+use escra_bench::{panel_cells, parse_sweep_args, run_cells_args, write_json};
 use escra_metrics::{downsample_cdf, to_json, Table};
-use std::collections::BTreeMap;
 
 /// The four panels of the figure: (app, workload).
 pub const PANELS: [(&str, &str); 4] = [
@@ -14,20 +18,14 @@ pub const PANELS: [(&str, &str); 4] = [
 ];
 
 fn main() {
-    let apps: BTreeMap<_, _> = paper_apps_named().into_iter().collect();
-    let workloads: BTreeMap<_, _> = paper_workloads().into_iter().collect();
+    let args = parse_sweep_args();
+    let cells = run_cells_args(panel_cells(&PANELS), &args);
     let mut dump = Vec::new();
-    for (app_name, wl_name) in PANELS {
-        eprintln!("running {app_name} x {wl_name} ...");
-        let cell = run_cell(
-            app_name,
-            &apps[app_name],
-            wl_name,
-            &workloads[wl_name],
-            RUN_SECS,
-            SEED,
+    for cell in &cells {
+        println!(
+            "\nFig. 6 panel: {} - {} (memory slack, MiB)",
+            cell.app, cell.workload
         );
-        println!("\nFig. 6 panel: {app_name} - {wl_name} (memory slack, MiB)");
         let mut table = Table::new(vec!["policy", "p25", "p50", "p75", "p90", "p99"]);
         for m in [&cell.escra, &cell.autopilot, &cell.static_1_5] {
             table.row(vec![
@@ -39,8 +37,8 @@ fn main() {
                 format!("{:.0}", m.slack.mem_p(99.0)),
             ]);
             dump.push((
-                app_name,
-                wl_name,
+                cell.app,
+                cell.workload,
                 m.policy.clone(),
                 downsample_cdf(&m.slack.mem_cdf(), 200),
             ));

@@ -3,7 +3,7 @@
 //! the 4 apps × 4 workloads matrix. Also prints the §VI-E OOM counts
 //! (Escra must be zero; baselines may OOM).
 
-use escra_bench::{run_matrix, write_json, RUN_SECS, SEED};
+use escra_bench::{parse_sweep_args, run_matrix_args, write_json};
 use escra_metrics::{to_json, Comparison, Table};
 
 fn mean(xs: &[f64]) -> f64 {
@@ -15,7 +15,7 @@ fn mean(xs: &[f64]) -> f64 {
 }
 
 fn main() {
-    let cells = run_matrix(RUN_SECS, SEED);
+    let cells = run_matrix_args(&parse_sweep_args());
 
     let mut per_cell = Table::new(vec![
         "app",

@@ -71,6 +71,33 @@ pub struct ControllerStats {
     pub register_errors: u64,
 }
 
+impl ControllerStats {
+    /// Folds another shard's counters into this one.
+    ///
+    /// Every field is a lifetime *count*, so sharding the Controller
+    /// (`crate::sharded`) preserves aggregates by plain summation. The
+    /// one caveat is `reclaim_sweeps`: each shard runs its own reclaim
+    /// schedule and sweeps the whole node set, so the merged sum counts
+    /// one sweep per shard where a sequential Controller counts one
+    /// (the duplicate `ReclaimMemory` commands themselves are deduped
+    /// at drain time and idempotent on Agents).
+    pub fn merge(&mut self, other: &ControllerStats) {
+        self.cpu_stats_ingested += other.cpu_stats_ingested;
+        self.quota_updates += other.quota_updates;
+        self.scale_ups += other.scale_ups;
+        self.scale_downs += other.scale_downs;
+        self.mem_grants += other.mem_grants;
+        self.ooms_absorbed += other.ooms_absorbed;
+        self.ooms_fatal += other.ooms_fatal;
+        self.reclaim_sweeps += other.reclaim_sweeps;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+        self.grant_retries += other.grant_retries;
+        self.grant_reconciles += other.grant_reconciles;
+        self.grants_abandoned += other.grants_abandoned;
+        self.register_errors += other.register_errors;
+    }
+}
+
 /// A memory grant the Controller sent but has not yet seen acked. If the
 /// `SetMemLimit` is lost, the trapped container stays frozen at its old
 /// limit — so unacked grants are re-sent on a timeout rather than
@@ -166,6 +193,18 @@ impl Controller {
     pub fn register_app(&mut self, app: AppId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
         self.allocator
             .register_app(app, cpu_limit_cores, mem_limit_bytes);
+    }
+
+    /// Records that `node` exists, so reclamation sweeps include it even
+    /// if no container of this Controller's registry runs there.
+    ///
+    /// `register_container` learns nodes implicitly; this explicit path
+    /// exists for the sharded Controller ([`crate::sharded`]), which
+    /// broadcasts every node to every shard so that a sweep launched by
+    /// any shard covers the whole cluster — exactly like a sequential
+    /// Controller's sweep does.
+    pub fn note_node(&mut self, node: NodeId) {
+        self.nodes.insert(node);
     }
 
     /// Registers a container with initial limits; returns the Agent

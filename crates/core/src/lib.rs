@@ -24,7 +24,10 @@
 //! * [`watcher`] — the Container Watcher keeping the Controller's
 //!   registry in sync with runtime container creation/teardown;
 //! * [`telemetry`] — control-plane message types and wire sizes for the
-//!   §VI-I network-overhead accounting.
+//!   §VI-I network-overhead accounting;
+//! * [`sharded`] — the app-sharded multi-threaded Controller front-end
+//!   that lifts the §VI-I single-core ingest ceiling while preserving
+//!   decision-for-decision identity with the sequential path.
 //!
 //! ## Quick start
 //!
@@ -63,6 +66,7 @@ pub mod config;
 pub mod controller;
 pub mod deployer;
 pub mod distributed_container;
+pub mod sharded;
 pub mod telemetry;
 pub mod watcher;
 
@@ -72,6 +76,7 @@ pub use config::EscraConfig;
 pub use controller::{Action, Controller, ControllerStats};
 pub use deployer::{deploy_app, initial_cpu_limit, initial_mem_limit, AppConfig};
 pub use distributed_container::DistributedContainer;
+pub use sharded::{PoolSnapshot, ShardedController};
 pub use telemetry::{CpuStatsEntry, ToAgent, ToController};
 pub use watcher::ContainerWatcher;
 

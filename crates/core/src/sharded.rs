@@ -1,0 +1,984 @@
+//! App-sharded, multi-threaded Controller (§VI-I scalability).
+//!
+//! The paper's Controller is *logically* centralized; PR 2 made its
+//! telemetry ingest batched and allocation-free, but it still ran on one
+//! core. [`ShardedController`] removes that ceiling: N worker threads,
+//! each owning an independent [`Controller`] (and therefore its own slab
+//! allocator), fed over bounded `std::sync::mpsc` channels.
+//!
+//! ## Routing rule: by application id
+//!
+//! A container is routed to shard `app.as_u64() % n_shards`. All
+//! Distributed Container state — the per-app CPU/memory pools, sibling
+//! membership, OOM grant arithmetic — is scoped to one application, so
+//! keeping an application's containers on one shard preserves
+//! decision-for-decision identity with a sequential Controller: each
+//! shard sees exactly the subsequence of messages its apps would have
+//! seen, in the same order, against exactly the same pool state. Any
+//! other partition (by container, by node) would split an application's
+//! pool across threads and change grant/scale decisions.
+//!
+//! Two things are *not* app-scoped and need care:
+//!
+//! * **Node knowledge.** A sequential Controller's reclamation sweep
+//!   covers every node it has ever seen. Every registered node is
+//!   therefore broadcast to every shard ([`Controller::note_node`]), so
+//!   a sweep launched by any one shard (e.g. for an OOM on its app)
+//!   still covers the whole cluster. When all shards launch their
+//!   periodic sweep on the same schedule, the duplicate
+//!   [`ToAgent::ReclaimMemory`] commands are deduplicated per drain —
+//!   they are idempotent on Agents, but charging them to the wire N
+//!   times would distort the §VI-I overhead numbers.
+//! * **Command sequence numbers.** Each shard stamps its own monotonic
+//!   sequence. Agents filter staleness *per container*, and all of a
+//!   container's commands come from its one home shard in emission
+//!   order, so the per-container guarantee is unchanged; only the
+//!   global numbering differs from a sequential Controller (the
+//!   identity property test canonicalises seqs to per-container ranks).
+//!
+//! ## Determinism
+//!
+//! The router (the caller's thread) is the only producer into each
+//! shard's FIFO channel, and every shard drains its channel in order,
+//! so each shard's action stream is a deterministic function of the
+//! routed message sequence — independent of thread scheduling.
+//! [`ShardedController::drain_actions_into`] concatenates the shard
+//! buffers in shard order, making the drained stream reproducible
+//! run-to-run as well.
+
+use crate::agent::ReclaimEntry;
+use crate::allocator::AllocatorError;
+use crate::config::EscraConfig;
+use crate::controller::{Action, Controller, ControllerStats};
+use crate::telemetry::{CpuStatsEntry, ToAgent, ToController};
+use escra_cluster::{AppId, ContainerId, NodeId};
+use escra_simcore::time::SimTime;
+use std::collections::BTreeSet;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sentinel for "container not seen by the router yet".
+const NO_SHARD: u32 = u32::MAX;
+
+/// Router → worker channel depth: enough to pipeline a burst of per-node
+/// batches without unbounded queue growth.
+const SHARD_CHANNEL_DEPTH: usize = 256;
+
+/// Worker → router recycle-channel depth for emptied batch buffers.
+const RECYCLE_DEPTH: usize = 8;
+
+/// One message to a shard worker. Fire-and-forget variants accumulate
+/// actions in the shard's pending buffer; request variants reply on the
+/// shard's reply channel.
+enum ShardMsg {
+    /// A routed wire message (telemetry, OOM, ack) — fire-and-forget.
+    Wire { now: SimTime, msg: ToController },
+    /// A wire registration; replies `Registered` so the router learns
+    /// whether the container actually joined this shard's books.
+    WireRegister {
+        now: SimTime,
+        container: ContainerId,
+        app: AppId,
+        node: NodeId,
+    },
+    /// This shard's slice of one node's telemetry batch. The entry
+    /// buffer is returned to the router through the recycle channel.
+    Batch { entries: Vec<CpuStatsEntry> },
+    /// Time advanced: run grant retries and the reclaim schedule.
+    Tick { now: SimTime },
+    /// This shard's slice of an Agent's reclamation report (possibly
+    /// empty — an empty report still retries the shard's pending OOMs).
+    ReclaimReport {
+        now: SimTime,
+        entries: Vec<ReclaimEntry>,
+    },
+    /// Register an application's global limits.
+    RegisterApp {
+        app: AppId,
+        cpu_limit_cores: f64,
+        mem_limit_bytes: u64,
+    },
+    /// Typed container registration; replies `Registered`.
+    RegisterContainer {
+        container: ContainerId,
+        app: AppId,
+        node: NodeId,
+        initial_cpu_cores: f64,
+        initial_mem_bytes: u64,
+    },
+    /// Typed deregistration; replies `Deregistered`.
+    Deregister { container: ContainerId },
+    /// Node-knowledge broadcast (see module docs).
+    NoteNode { node: NodeId },
+    /// Swap the shard's pending action buffer for `spare`; replies
+    /// `Actions` with the accumulated buffer.
+    Drain { spare: Vec<Action> },
+    /// Read-only queries; each replies with the matching variant.
+    Query(ShardQuery),
+    /// Stop the worker loop.
+    Shutdown,
+}
+
+/// Read-only state queries a shard answers synchronously.
+enum ShardQuery {
+    Stats,
+    Quota(ContainerId),
+    MemLimit(ContainerId),
+    TrackedCpu(AppId),
+    TrackedMem(AppId),
+    PoolLimits(AppId),
+    PendingGrants,
+    IngestBusy,
+}
+
+/// A shard worker's reply.
+enum ShardReply {
+    Registered(Result<(), AllocatorError>),
+    Deregistered(Result<(), AllocatorError>),
+    Actions(Vec<Action>),
+    Stats(ControllerStats),
+    Quota(Option<f64>),
+    MemLimit(Option<u64>),
+    F64(f64),
+    U64(u64),
+    PoolLimits(Option<PoolSnapshot>),
+    Pending(usize),
+    Busy(Duration),
+}
+
+/// A point-in-time copy of one application pool's books, readable
+/// without borrowing into a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSnapshot {
+    /// The pool's global CPU limit Ω, in cores.
+    pub cpu_limit_cores: f64,
+    /// The pool's global memory limit, in bytes.
+    pub mem_limit_bytes: u64,
+    /// Σ member CPU quotas currently allocated from the pool.
+    pub allocated_cpu_cores: f64,
+    /// Σ member memory limits currently allocated from the pool.
+    pub allocated_mem_bytes: u64,
+}
+
+struct ShardHandle {
+    tx: SyncSender<ShardMsg>,
+    rx: Receiver<ShardReply>,
+    recycle_rx: Receiver<Vec<CpuStatsEntry>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    fn send(&self, msg: ShardMsg) {
+        self.tx
+            .send(msg)
+            .expect("shard worker exited while the router holds it");
+    }
+
+    fn recv(&self) -> ShardReply {
+        self.rx
+            .recv()
+            .expect("shard worker exited while a reply was pending")
+    }
+}
+
+/// The multi-threaded Controller: an app-affine router in front of N
+/// single-threaded [`Controller`] shards (see module docs).
+///
+/// Emitted [`Action`]s accumulate inside each shard and are collected —
+/// in deterministic shard order, into a caller-owned buffer — with
+/// [`ShardedController::drain_actions_into`].
+#[derive(Debug)]
+pub struct ShardedController {
+    handles: Vec<ShardHandle>,
+    /// Direct-mapped container → shard index (`NO_SHARD` = unknown),
+    /// keyed by the raw container id exactly like the allocator's slab
+    /// index (ids are sequential and never reused).
+    container_shard: Vec<u32>,
+    /// Per-shard scratch buffers for splitting one node batch.
+    split_scratch: Vec<Vec<CpuStatsEntry>>,
+    /// Per-shard spare action buffers recycled through `Drain` swaps.
+    spares: Vec<Vec<Action>>,
+    /// Nodes already broadcast to every shard.
+    known_nodes: BTreeSet<NodeId>,
+    /// Per-drain scratch for deduplicating cluster-wide sweep commands.
+    seen_reclaims: Vec<(NodeId, u64)>,
+}
+
+impl std::fmt::Debug for ShardHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle").finish_non_exhaustive()
+    }
+}
+
+fn shard_worker(
+    cfg: EscraConfig,
+    rx: Receiver<ShardMsg>,
+    tx: SyncSender<ShardReply>,
+    recycle_tx: SyncSender<Vec<CpuStatsEntry>>,
+) {
+    let mut controller = Controller::new(cfg);
+    let mut pending: Vec<Action> = Vec::new();
+    let mut ingest_busy = Duration::ZERO;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Wire { now, msg } => controller.handle_into(now, msg, &mut pending),
+            ShardMsg::WireRegister {
+                now,
+                container,
+                app,
+                node,
+            } => {
+                controller.handle_into(
+                    now,
+                    ToController::Register {
+                        container,
+                        app,
+                        node,
+                    },
+                    &mut pending,
+                );
+                // The wire path swallows the error into `register_errors`;
+                // report success as "the container now belongs to `app` on
+                // this shard" so the router can record the home shard.
+                let ok = controller.allocator().app_of(container) == Some(app);
+                let _ = tx.send(ShardReply::Registered(if ok {
+                    Ok(())
+                } else {
+                    Err(AllocatorError::UnknownContainer(container))
+                }));
+            }
+            ShardMsg::Batch { mut entries } => {
+                let t = Instant::now();
+                controller.ingest_cpu_batch(&entries, &mut pending);
+                ingest_busy += t.elapsed();
+                entries.clear();
+                // Best effort: if the recycle channel is full the buffer
+                // is simply dropped and the router allocates a fresh one.
+                let _ = recycle_tx.try_send(entries);
+            }
+            ShardMsg::Tick { now } => pending.extend(controller.tick(now)),
+            ShardMsg::ReclaimReport { now, entries } => {
+                pending.extend(controller.on_reclaim_report(now, &entries));
+            }
+            ShardMsg::RegisterApp {
+                app,
+                cpu_limit_cores,
+                mem_limit_bytes,
+            } => controller.register_app(app, cpu_limit_cores, mem_limit_bytes),
+            ShardMsg::RegisterContainer {
+                container,
+                app,
+                node,
+                initial_cpu_cores,
+                initial_mem_bytes,
+            } => {
+                let result = controller
+                    .register_container(container, app, node, initial_cpu_cores, initial_mem_bytes)
+                    .map(|actions| pending.extend(actions));
+                let _ = tx.send(ShardReply::Registered(result));
+            }
+            ShardMsg::Deregister { container } => {
+                let _ = tx.send(ShardReply::Deregistered(
+                    controller.deregister_container(container),
+                ));
+            }
+            ShardMsg::NoteNode { node } => controller.note_node(node),
+            ShardMsg::Drain { spare } => {
+                let out = std::mem::replace(&mut pending, spare);
+                let _ = tx.send(ShardReply::Actions(out));
+            }
+            ShardMsg::Query(q) => {
+                let reply = match q {
+                    ShardQuery::Stats => ShardReply::Stats(controller.stats()),
+                    ShardQuery::Quota(c) => ShardReply::Quota(controller.allocator().quota_of(c)),
+                    ShardQuery::MemLimit(c) => {
+                        ShardReply::MemLimit(controller.allocator().mem_limit_of(c))
+                    }
+                    ShardQuery::TrackedCpu(app) => {
+                        ShardReply::F64(controller.allocator().tracked_cpu_sum(app))
+                    }
+                    ShardQuery::TrackedMem(app) => {
+                        ShardReply::U64(controller.allocator().tracked_mem_sum(app))
+                    }
+                    ShardQuery::PoolLimits(app) => {
+                        ShardReply::PoolLimits(controller.allocator().app_pool(app).map(|p| {
+                            PoolSnapshot {
+                                cpu_limit_cores: p.cpu_limit_cores(),
+                                mem_limit_bytes: p.mem_limit_bytes(),
+                                allocated_cpu_cores: p.allocated_cpu_cores(),
+                                allocated_mem_bytes: p.allocated_mem_bytes(),
+                            }
+                        }))
+                    }
+                    ShardQuery::PendingGrants => {
+                        ShardReply::Pending(controller.pending_grant_count())
+                    }
+                    ShardQuery::IngestBusy => ShardReply::Busy(ingest_busy),
+                };
+                let _ = tx.send(reply);
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+impl ShardedController {
+    /// Spawns `n_shards` worker threads, each owning an independent
+    /// [`Controller`] built from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn new(cfg: EscraConfig, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "a sharded controller needs at least 1 shard");
+        let handles = (0..n_shards)
+            .map(|i| {
+                let (msg_tx, msg_rx) = sync_channel::<ShardMsg>(SHARD_CHANNEL_DEPTH);
+                let (reply_tx, reply_rx) = sync_channel::<ShardReply>(2);
+                let (recycle_tx, recycle_rx) = sync_channel::<Vec<CpuStatsEntry>>(RECYCLE_DEPTH);
+                let cfg = cfg.clone();
+                let join = std::thread::Builder::new()
+                    .name(format!("escra-shard-{i}"))
+                    .spawn(move || shard_worker(cfg, msg_rx, reply_tx, recycle_tx))
+                    .expect("spawn shard worker");
+                ShardHandle {
+                    tx: msg_tx,
+                    rx: reply_rx,
+                    recycle_rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ShardedController {
+            handles,
+            container_shard: Vec::new(),
+            split_scratch: (0..n_shards).map(|_| Vec::new()).collect(),
+            spares: (0..n_shards).map(|_| Vec::new()).collect(),
+            known_nodes: BTreeSet::new(),
+            seen_reclaims: Vec::new(),
+        }
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The routing rule: the shard owning `app` and all its containers.
+    pub fn route_of(&self, app: AppId) -> usize {
+        (app.as_u64() % self.handles.len() as u64) as usize
+    }
+
+    /// Shard currently routing `container`, if the router has seen it.
+    pub fn shard_of_container(&self, container: ContainerId) -> Option<usize> {
+        let idx = container.as_u64() as usize;
+        match self.container_shard.get(idx) {
+            Some(&s) if s != NO_SHARD => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    fn record_container(&mut self, container: ContainerId, shard: usize) {
+        let idx = container.as_u64() as usize;
+        if idx >= self.container_shard.len() {
+            self.container_shard.resize(idx + 1, NO_SHARD);
+        }
+        self.container_shard[idx] = shard as u32;
+    }
+
+    fn clear_container(&mut self, container: ContainerId) {
+        let idx = container.as_u64() as usize;
+        if let Some(slot) = self.container_shard.get_mut(idx) {
+            *slot = NO_SHARD;
+        }
+    }
+
+    /// Routes a container-addressed message; unknown containers fall
+    /// back to shard 0, which ingests-and-ignores them exactly like a
+    /// sequential Controller does with stale telemetry.
+    fn shard_for(&self, container: ContainerId) -> usize {
+        self.shard_of_container(container).unwrap_or(0)
+    }
+
+    /// Broadcasts `node` to every shard the first time it is seen, so
+    /// any shard's reclamation sweep covers the whole cluster.
+    fn broadcast_node(&mut self, node: NodeId) {
+        if self.known_nodes.insert(node) {
+            for h in &self.handles {
+                h.send(ShardMsg::NoteNode { node });
+            }
+        }
+    }
+
+    /// Registers an application's global limits on its home shard.
+    pub fn register_app(&mut self, app: AppId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
+        let shard = self.route_of(app);
+        self.handles[shard].send(ShardMsg::RegisterApp {
+            app,
+            cpu_limit_cores,
+            mem_limit_bytes,
+        });
+    }
+
+    /// Registers a container with initial limits on its app's home
+    /// shard. The cgroup-bootstrap commands a sequential Controller
+    /// returns here instead appear in the next
+    /// [`ShardedController::drain_actions_into`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocatorError`] for unknown apps / duplicate ids.
+    pub fn register_container(
+        &mut self,
+        container: ContainerId,
+        app: AppId,
+        node: NodeId,
+        initial_cpu_cores: f64,
+        initial_mem_bytes: u64,
+    ) -> Result<(), AllocatorError> {
+        self.broadcast_node(node);
+        let shard = self.route_of(app);
+        self.handles[shard].send(ShardMsg::RegisterContainer {
+            container,
+            app,
+            node,
+            initial_cpu_cores,
+            initial_mem_bytes,
+        });
+        match self.handles[shard].recv() {
+            ShardReply::Registered(result) => {
+                if result.is_ok() {
+                    self.record_container(container, shard);
+                }
+                result
+            }
+            _ => unreachable!("register replies Registered"),
+        }
+    }
+
+    /// Deregisters a container on its home shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AllocatorError::UnknownContainer`].
+    pub fn deregister_container(&mut self, container: ContainerId) -> Result<(), AllocatorError> {
+        let shard = self.shard_for(container);
+        self.handles[shard].send(ShardMsg::Deregister { container });
+        match self.handles[shard].recv() {
+            ShardReply::Deregistered(result) => {
+                if result.is_ok() {
+                    self.clear_container(container);
+                }
+                result
+            }
+            _ => unreachable!("deregister replies Deregistered"),
+        }
+    }
+
+    /// Routes one inbound wire message to its home shard.
+    ///
+    /// The caller charges the message's wire bytes
+    /// ([`ToController::wire_bytes`]) exactly once *before* routing: a
+    /// [`ToController::CpuStatsBatch`] whose entries fan out to several
+    /// shards is still one datagram on the wire — the fan-out happens
+    /// after the envelope, so per-shard sub-batches must never be
+    /// re-charged (a test in this module holds that property).
+    pub fn handle(&mut self, now: SimTime, msg: ToController) {
+        match msg {
+            ToController::Register {
+                container,
+                app,
+                node,
+            } => {
+                self.broadcast_node(node);
+                let shard = self.route_of(app);
+                self.handles[shard].send(ShardMsg::WireRegister {
+                    now,
+                    container,
+                    app,
+                    node,
+                });
+                if let ShardReply::Registered(result) = self.handles[shard].recv() {
+                    if result.is_ok() {
+                        self.record_container(container, shard);
+                    }
+                }
+            }
+            ToController::CpuStatsBatch { entries, .. } => self.ingest_cpu_batch(&entries),
+            ToController::CpuStats { container, .. }
+            | ToController::OomEvent { container, .. }
+            | ToController::LimitAck { container, .. } => {
+                let shard = self.shard_for(container);
+                self.handles[shard].send(ShardMsg::Wire { now, msg });
+            }
+        }
+    }
+
+    /// Takes a recycled entry buffer for `shard`, or allocates one.
+    fn take_entry_buf(&self, shard: usize) -> Vec<CpuStatsEntry> {
+        self.handles[shard]
+            .recycle_rx
+            .try_recv()
+            .unwrap_or_default()
+    }
+
+    /// Splits one node's telemetry batch across home shards and feeds
+    /// each shard its slice, preserving entry order within each shard.
+    ///
+    /// In steady state this allocates nothing: the split buffers are
+    /// recycled back from the workers once drained.
+    pub fn ingest_cpu_batch(&mut self, entries: &[CpuStatsEntry]) {
+        for e in entries {
+            let shard = self.shard_for(e.container);
+            self.split_scratch[shard].push(*e);
+        }
+        for shard in 0..self.handles.len() {
+            if self.split_scratch[shard].is_empty() {
+                continue;
+            }
+            let replacement = self.take_entry_buf(shard);
+            let batch = std::mem::replace(&mut self.split_scratch[shard], replacement);
+            self.handles[shard].send(ShardMsg::Batch { entries: batch });
+        }
+    }
+
+    /// Advances time on every shard: grant retries and the reclaim
+    /// schedule run shard-locally; resulting commands appear in the next
+    /// drain (duplicate cluster-wide sweeps are deduplicated there).
+    pub fn tick(&mut self, now: SimTime) {
+        for h in &self.handles {
+            h.send(ShardMsg::Tick { now });
+        }
+    }
+
+    /// Ingests an Agent's reclamation report.
+    ///
+    /// Entries are routed to each container's home shard; every shard
+    /// receives a report (even an empty slice) because a report is also
+    /// the signal to retry pending OOMs, whichever shard holds them —
+    /// exactly as [`Controller::on_reclaim_report`] retries on any
+    /// report.
+    pub fn on_reclaim_report(&mut self, now: SimTime, entries: &[ReclaimEntry]) {
+        let mut slices: Vec<Vec<ReclaimEntry>> =
+            (0..self.handles.len()).map(|_| Vec::new()).collect();
+        for e in entries {
+            slices[self.shard_for(e.container)].push(*e);
+        }
+        for (h, entries) in self.handles.iter().zip(slices) {
+            h.send(ShardMsg::ReclaimReport { now, entries });
+        }
+    }
+
+    /// Collects every shard's accumulated actions into `out`, in shard
+    /// order, *appending without clearing* — the same caller-owned-buffer
+    /// contract as [`Controller::handle_into`]. In steady state the
+    /// drain allocates nothing: each shard's buffer is swapped against a
+    /// spare and recycled.
+    ///
+    /// Identical cluster-wide [`ToAgent::ReclaimMemory`] commands are
+    /// deduplicated within one drain: when all N shards launch their
+    /// periodic sweep at the same tick, the Agents must see (and the
+    /// wire must carry) one sweep, as under a sequential Controller.
+    pub fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
+        for shard in 0..self.handles.len() {
+            let spare = std::mem::take(&mut self.spares[shard]);
+            self.handles[shard].send(ShardMsg::Drain { spare });
+        }
+        self.seen_reclaims.clear();
+        for shard in 0..self.handles.len() {
+            let ShardReply::Actions(mut actions) = self.handles[shard].recv() else {
+                unreachable!("drain replies Actions");
+            };
+            for a in &actions {
+                if let Action::Agent {
+                    node,
+                    cmd: ToAgent::ReclaimMemory { delta_bytes },
+                } = a
+                {
+                    if self.seen_reclaims.contains(&(*node, *delta_bytes)) {
+                        continue;
+                    }
+                    self.seen_reclaims.push((*node, *delta_bytes));
+                }
+                out.push(*a);
+            }
+            actions.clear();
+            self.spares[shard] = actions;
+        }
+    }
+
+    /// Convenience wrapper over [`ShardedController::drain_actions_into`]
+    /// that allocates a fresh vector.
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.drain_actions_into(&mut out);
+        out
+    }
+
+    fn query(&self, shard: usize, q: ShardQuery) -> ShardReply {
+        self.handles[shard].send(ShardMsg::Query(q));
+        self.handles[shard].recv()
+    }
+
+    /// Aggregate lifetime counters, merged across shards with
+    /// [`ControllerStats::merge`] (see its note on `reclaim_sweeps`).
+    pub fn stats(&self) -> ControllerStats {
+        let mut total = ControllerStats::default();
+        for s in self.per_shard_stats() {
+            total.merge(&s);
+        }
+        total
+    }
+
+    /// Lifetime counters of each shard, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<ControllerStats> {
+        (0..self.handles.len())
+            .map(|s| match self.query(s, ShardQuery::Stats) {
+                ShardReply::Stats(st) => st,
+                _ => unreachable!("stats query replies Stats"),
+            })
+            .collect()
+    }
+
+    /// The container's current CPU quota, from its home shard's books.
+    pub fn quota_of(&self, container: ContainerId) -> Option<f64> {
+        match self.query(self.shard_for(container), ShardQuery::Quota(container)) {
+            ShardReply::Quota(q) => q,
+            _ => unreachable!("quota query replies Quota"),
+        }
+    }
+
+    /// The container's current memory limit, from its home shard's books.
+    pub fn mem_limit_of(&self, container: ContainerId) -> Option<u64> {
+        match self.query(self.shard_for(container), ShardQuery::MemLimit(container)) {
+            ShardReply::MemLimit(l) => l,
+            _ => unreachable!("mem-limit query replies MemLimit"),
+        }
+    }
+
+    /// Σ tracked CPU quotas of `app`'s containers on its home shard.
+    pub fn tracked_cpu_sum(&self, app: AppId) -> f64 {
+        match self.query(self.route_of(app), ShardQuery::TrackedCpu(app)) {
+            ShardReply::F64(v) => v,
+            _ => unreachable!("tracked-cpu query replies F64"),
+        }
+    }
+
+    /// Σ tracked memory limits of `app`'s containers on its home shard.
+    pub fn tracked_mem_sum(&self, app: AppId) -> u64 {
+        match self.query(self.route_of(app), ShardQuery::TrackedMem(app)) {
+            ShardReply::U64(v) => v,
+            _ => unreachable!("tracked-mem query replies U64"),
+        }
+    }
+
+    /// A snapshot of `app`'s Distributed Container pool books.
+    pub fn app_pool(&self, app: AppId) -> Option<PoolSnapshot> {
+        match self.query(self.route_of(app), ShardQuery::PoolLimits(app)) {
+            ShardReply::PoolLimits(p) => p,
+            _ => unreachable!("pool query replies PoolLimits"),
+        }
+    }
+
+    /// Total memory grants awaiting an Agent ack, across shards.
+    pub fn pending_grant_count(&self) -> usize {
+        (0..self.handles.len())
+            .map(|s| match self.query(s, ShardQuery::PendingGrants) {
+                ShardReply::Pending(n) => n,
+                _ => unreachable!("pending query replies Pending"),
+            })
+            .sum()
+    }
+
+    /// CPU time each shard spent inside batch ingest, in shard order.
+    ///
+    /// This is the per-shard critical path of telemetry processing: on a
+    /// machine with one core per shard, aggregate ingest throughput is
+    /// `total entries / max(per-shard busy)`. The capacity benchmark
+    /// (`overhead_controller --threads`) reports exactly that quotient,
+    /// which is also meaningful on CPU-starved CI hosts where wall-clock
+    /// speedups cannot materialise.
+    pub fn ingest_busy_per_shard(&self) -> Vec<Duration> {
+        (0..self.handles.len())
+            .map(|s| match self.query(s, ShardQuery::IngestBusy) {
+                ShardReply::Busy(d) => d,
+                _ => unreachable!("busy query replies Busy"),
+            })
+            .collect()
+    }
+
+    /// Test/fault-injection hook: deliver a wire message directly to
+    /// `shard`, bypassing the app-affine router — e.g. a registration
+    /// arriving at the wrong shard must be *rejected and counted* in
+    /// `register_errors`, never silently absorbed.
+    pub fn inject_wire_to_shard(&self, shard: usize, now: SimTime, msg: ToController) {
+        self.handles[shard].send(ShardMsg::Wire { now, msg });
+    }
+}
+
+impl Drop for ShardedController {
+    fn drop(&mut self) {
+        for h in &self.handles {
+            // The worker may already be gone if it panicked; join below
+            // will surface that.
+            let _ = h.tx.send(ShardMsg::Shutdown);
+        }
+        for h in &mut self.handles {
+            if let Some(join) = h.join.take() {
+                if let Err(panic) = join.join() {
+                    if !std::thread::panicking() {
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{CPU_STATS_ENTRY_BYTES, CPU_STATS_HEADER_BYTES};
+    use escra_cfs::{CpuPeriodStats, MIB};
+    use escra_net::{batch_wire_bytes, BandwidthAccountant};
+
+    fn throttled(quota: f64) -> CpuPeriodStats {
+        CpuPeriodStats {
+            quota_cores: quota,
+            usage_us: quota * 100_000.0,
+            unused_runtime_us: 0.0,
+            throttled: true,
+        }
+    }
+
+    fn sharded_with_apps(n_shards: usize, n_apps: u64, per_app: u64) -> ShardedController {
+        let mut s = ShardedController::new(EscraConfig::default(), n_shards);
+        for a in 0..n_apps {
+            s.register_app(AppId::new(a), 8.0, 1024 * MIB);
+            for i in 0..per_app {
+                let cid = a * per_app + i;
+                s.register_container(
+                    ContainerId::new(cid),
+                    AppId::new(a),
+                    NodeId::new(cid % 2),
+                    1.0,
+                    64 * MIB,
+                )
+                .unwrap();
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn routing_is_app_affine() {
+        let s = sharded_with_apps(3, 6, 2);
+        for a in 0..6u64 {
+            assert_eq!(s.route_of(AppId::new(a)), (a % 3) as usize);
+            for i in 0..2u64 {
+                assert_eq!(
+                    s.shard_of_container(ContainerId::new(a * 2 + i)),
+                    Some((a % 3) as usize)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registration_bootstraps_cgroups_via_drain() {
+        let mut s = sharded_with_apps(2, 2, 1);
+        let actions = s.drain_actions();
+        // Two containers, two bootstrap commands each.
+        assert_eq!(actions.len(), 4);
+    }
+
+    #[test]
+    fn telemetry_routes_to_the_home_shard_and_drains() {
+        let mut s = sharded_with_apps(2, 2, 1);
+        s.drain_actions(); // discard bootstrap
+        let quota = s.quota_of(ContainerId::new(1)).unwrap();
+        s.handle(
+            SimTime::ZERO,
+            ToController::CpuStats {
+                container: ContainerId::new(1),
+                stats: throttled(quota),
+            },
+        );
+        let actions = s.drain_actions();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            Action::Agent {
+                cmd: ToAgent::SetCpuQuota { container, .. },
+                ..
+            } if container == ContainerId::new(1)
+        ));
+        assert_eq!(s.stats().quota_updates, 1);
+        assert_eq!(s.stats().cpu_stats_ingested, 1);
+    }
+
+    #[test]
+    fn periodic_sweeps_are_deduplicated_across_shards() {
+        let mut s = sharded_with_apps(4, 4, 1);
+        s.drain_actions();
+        s.tick(SimTime::from_secs(5));
+        let actions = s.drain_actions();
+        // 4 shards each launch a sweep over both nodes; the drain must
+        // carry each node's command once.
+        let reclaims: Vec<_> = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Agent {
+                        cmd: ToAgent::ReclaimMemory { .. },
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(reclaims.len(), 2, "one per node, not one per shard");
+        // Each shard still counted its own sweep (documented divergence).
+        assert_eq!(s.stats().reclaim_sweeps, 4);
+    }
+
+    #[test]
+    fn batch_fan_out_is_charged_one_envelope() {
+        // A 4-entry batch spanning both shards is one datagram on the
+        // wire: the embedding charges `wire_bytes()` once before routing
+        // and the router's fan-out adds nothing.
+        let mut s = sharded_with_apps(2, 4, 1);
+        s.drain_actions();
+        let entries: Vec<CpuStatsEntry> = (0..4u64)
+            .map(|i| CpuStatsEntry {
+                container: ContainerId::new(i),
+                stats: throttled(1.0),
+            })
+            .collect();
+        let msg = ToController::CpuStatsBatch {
+            node: NodeId::new(0),
+            entries,
+        };
+        let mut acc = BandwidthAccountant::new();
+        acc.record(SimTime::ZERO, msg.wire_bytes());
+        s.handle(SimTime::ZERO, msg);
+        assert_eq!(
+            acc.total_bytes(),
+            batch_wire_bytes(CPU_STATS_HEADER_BYTES, CPU_STATS_ENTRY_BYTES, 4)
+        );
+        assert_eq!(s.stats().cpu_stats_ingested, 4);
+    }
+
+    #[test]
+    fn unknown_telemetry_is_counted_and_ignored_like_sequential() {
+        let mut s = sharded_with_apps(2, 2, 1);
+        s.drain_actions();
+        s.handle(
+            SimTime::ZERO,
+            ToController::CpuStats {
+                container: ContainerId::new(99),
+                stats: throttled(1.0),
+            },
+        );
+        assert!(s.drain_actions().is_empty());
+        assert_eq!(s.stats().cpu_stats_ingested, 1);
+    }
+
+    #[test]
+    fn wrong_shard_registration_is_rejected_and_counted() {
+        let mut s = sharded_with_apps(2, 2, 1);
+        s.drain_actions();
+        // App 1's home is shard 1; inject its registration at shard 0.
+        let wrong = ToController::Register {
+            container: ContainerId::new(7),
+            app: AppId::new(1),
+            node: NodeId::new(0),
+        };
+        s.inject_wire_to_shard(0, SimTime::ZERO, wrong);
+        assert!(s.drain_actions().is_empty(), "no bootstrap for a reject");
+        let per_shard = s.per_shard_stats();
+        assert_eq!(per_shard[0].register_errors, 1);
+        assert_eq!(per_shard[1].register_errors, 0);
+        assert_eq!(s.stats().register_errors, 1);
+    }
+
+    #[test]
+    fn single_shard_matches_sequential_controller_exactly() {
+        // With one shard the router is a pass-through: same actions, same
+        // seqs, same stats as the sequential Controller.
+        let mut seq = Controller::new(EscraConfig::default());
+        let mut sharded = ShardedController::new(EscraConfig::default(), 1);
+        seq.register_app(AppId::new(0), 8.0, 1024 * MIB);
+        sharded.register_app(AppId::new(0), 8.0, 1024 * MIB);
+        let mut seq_actions = seq
+            .register_container(
+                ContainerId::new(0),
+                AppId::new(0),
+                NodeId::new(0),
+                1.0,
+                64 * MIB,
+            )
+            .unwrap();
+        sharded
+            .register_container(
+                ContainerId::new(0),
+                AppId::new(0),
+                NodeId::new(0),
+                1.0,
+                64 * MIB,
+            )
+            .unwrap();
+        for round in 0..30u64 {
+            let now = SimTime::from_millis(round * 100);
+            let quota = seq.allocator().quota_of(ContainerId::new(0)).unwrap();
+            let msg = ToController::CpuStats {
+                container: ContainerId::new(0),
+                stats: throttled(quota),
+            };
+            seq.handle_into(now, msg.clone(), &mut seq_actions);
+            sharded.handle(now, msg);
+            seq_actions.extend(seq.tick(now));
+            sharded.tick(now);
+        }
+        let sharded_actions = sharded.drain_actions();
+        assert_eq!(seq_actions, sharded_actions);
+        assert_eq!(seq.stats(), sharded.stats());
+    }
+
+    #[test]
+    fn deregister_returns_resources_and_clears_routing() {
+        let mut s = sharded_with_apps(2, 2, 1);
+        s.drain_actions();
+        s.deregister_container(ContainerId::new(0)).unwrap();
+        assert_eq!(s.shard_of_container(ContainerId::new(0)), None);
+        assert!(matches!(
+            s.deregister_container(ContainerId::new(0)),
+            Err(AllocatorError::UnknownContainer(_))
+        ));
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let mut a = ControllerStats {
+            cpu_stats_ingested: 1,
+            quota_updates: 2,
+            scale_ups: 3,
+            scale_downs: 4,
+            mem_grants: 5,
+            ooms_absorbed: 6,
+            ooms_fatal: 7,
+            reclaim_sweeps: 8,
+            reclaimed_bytes: 9,
+            grant_retries: 10,
+            grant_reconciles: 11,
+            grants_abandoned: 12,
+            register_errors: 13,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.cpu_stats_ingested, 2);
+        assert_eq!(a.register_errors, 26);
+        assert_eq!(a.reclaim_sweeps, 16);
+    }
+}

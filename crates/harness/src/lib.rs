@@ -10,7 +10,9 @@
 //!   Table I, §VI-I overheads);
 //! * [`serverless_sim`] — the OpenWhisk-style invoker loop
 //!   (Figs. 7–9);
-//! * [`tracking`] — the Fig. 2 single-container CPU-tracking experiment.
+//! * [`tracking`] — the Fig. 2 single-container CPU-tracking experiment;
+//! * [`sweep`] — the deterministic parallel sweep runner the benchmark
+//!   grids execute on (bit-identical to serial execution).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -19,9 +21,11 @@ pub mod microsim;
 pub mod policy;
 pub mod queueing;
 pub mod serverless_sim;
+pub mod sweep;
 pub mod tracking;
 
 pub use microsim::{
     controller_addr, node_addr, profile_run, run, run_with_profiles, MicroSimConfig, MicroSimOutput,
 };
 pub use policy::Policy;
+pub use sweep::{default_threads, run_serial, run_sweep, scenario_seed, scenarios, Scenario};

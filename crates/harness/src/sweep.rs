@@ -1,0 +1,168 @@
+//! Deterministic parallel sweep runner for the benchmark grid.
+//!
+//! Every paper experiment is a grid of independent scenarios — a
+//! benchmark × workload cell of Table I / Fig. 4, a CDF panel of
+//! Figs. 5–6, one report-period setting of the sweep. Each scenario is a
+//! self-contained microsim: it owns its cluster, its Controller, and a
+//! scenario-local [`SimRng`] stream, and shares nothing with its
+//! neighbours. That independence is what makes the grid safe to run on a
+//! thread pool *without changing a single output bit*:
+//!
+//! 1. **Seed isolation.** [`scenario_seed`] derives each scenario's seed
+//!    with [`SimRng::fork`] from the master seed and the scenario's grid
+//!    index, so a scenario's random stream depends only on `(master,
+//!    index)` — never on which thread ran it, in what order, or how many
+//!    workers the pool had.
+//! 2. **Slot-indexed collection.** Each worker writes its result into
+//!    the slot of its scenario index; the caller reads the slots back in
+//!    index order. The output sequence is therefore identical to a
+//!    serial `map` over the scenarios.
+//!
+//! [`run_sweep`] is consequently *bit-identical* to [`run_serial`] for
+//! any scenario function that is itself a pure function of
+//! `(input, seed)` — the property CI asserts via the `--serial` flag of
+//! the figure binaries.
+
+use escra_simcore::rng::SimRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of an experiment grid: its position, its fork-derived seed,
+/// and the experiment-specific input (app, workload, config, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario<I> {
+    /// Position in the grid, in serial iteration order.
+    pub index: usize,
+    /// Scenario-local seed derived via [`scenario_seed`].
+    pub seed: u64,
+    /// The experiment-specific payload.
+    pub input: I,
+}
+
+/// Derives the seed for the scenario at `index` from the sweep's master
+/// seed: `SimRng::new(master).fork(index)`, collapsed to a `u64`.
+///
+/// Deterministic in `(master, index)` alone, and distinct indices give
+/// independent streams, so scenarios can run in any order — or
+/// concurrently — without perturbing one another's draws.
+pub fn scenario_seed(master: u64, index: usize) -> u64 {
+    SimRng::new(master).fork(index as u64).next_u64()
+}
+
+/// Pairs each input with its grid index and fork-derived seed.
+pub fn scenarios<I>(master: u64, inputs: Vec<I>) -> Vec<Scenario<I>> {
+    inputs
+        .into_iter()
+        .enumerate()
+        .map(|(index, input)| Scenario {
+            index,
+            seed: scenario_seed(master, index),
+            input,
+        })
+        .collect()
+}
+
+/// Runs every scenario on a pool of `threads` workers and returns the
+/// results in scenario-index order — bit-identical to [`run_serial`]
+/// (see module docs for why).
+///
+/// `threads` is clamped to `[1, scenarios.len()]`; with `threads == 1`
+/// the pool degenerates to serial execution on one worker thread.
+pub fn run_sweep<I, T, F>(scenarios: Vec<Scenario<I>>, threads: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(&Scenario<I>) -> T + Sync,
+{
+    let n = scenarios.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work: Vec<Mutex<Option<Scenario<I>>>> =
+        scenarios.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let scenario = work[i]
+                    .lock()
+                    .expect("scenario slot poisoned")
+                    .take()
+                    .expect("each work item is claimed exactly once");
+                let result = f(&scenario);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every scenario produced a result")
+        })
+        .collect()
+}
+
+/// Reference serial execution: a plain in-order `map` over the
+/// scenarios. [`run_sweep`] must match this bit-for-bit.
+pub fn run_serial<I, T, F>(scenarios: Vec<Scenario<I>>, f: F) -> Vec<T>
+where
+    F: Fn(&Scenario<I>) -> T,
+{
+    scenarios.iter().map(f).collect()
+}
+
+/// Default worker count for sweeps: the machine's available parallelism,
+/// capped at 8 (the grid sizes here never benefit from more).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_depend_only_on_master_and_index() {
+        assert_eq!(scenario_seed(42, 3), scenario_seed(42, 3));
+        assert_ne!(scenario_seed(42, 3), scenario_seed(42, 4));
+        assert_ne!(scenario_seed(42, 3), scenario_seed(43, 3));
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // A scenario function that *consumes randomness* from its seed:
+        // identical output requires identical seeds, order, and count.
+        let f = |s: &Scenario<u64>| {
+            let mut rng = SimRng::new(s.seed);
+            let mut acc = s.input;
+            for _ in 0..100 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            (s.index, acc, rng.next_f64())
+        };
+        let inputs: Vec<u64> = (0..23).map(|i| i * 7).collect();
+        let serial = run_serial(scenarios(9, inputs.clone()), f);
+        for threads in [1, 2, 4, 7, 16] {
+            let parallel = run_sweep(scenarios(9, inputs.clone()), threads, f);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_grids() {
+        let f = |s: &Scenario<u32>| s.input * 2;
+        assert!(run_sweep(scenarios::<u32>(1, vec![]), 4, f).is_empty());
+        assert_eq!(run_sweep(scenarios(1, vec![21]), 4, f), vec![42]);
+    }
+}

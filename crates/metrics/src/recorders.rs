@@ -65,6 +65,16 @@ impl LatencyRecorder {
     pub fn cdf(&self) -> Vec<(f64, f64)> {
         self.hist_ms.cdf()
     }
+
+    /// Folds another recorder's samples into this one — the combining
+    /// step when per-thread recorders from a sharded run are reduced to
+    /// one distribution. Counts add exactly; percentiles are as accurate
+    /// as [`LogHistogram::merge`] (bucket-exact).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.hist_ms.merge(&other.hist_ms);
+        self.successes += other.successes;
+        self.failures += other.failures;
+    }
 }
 
 /// Absolute slack distributions: CPU in cores, memory in MiB — the
@@ -111,6 +121,13 @@ impl SlackRecorder {
     /// Memory slack CDF `(MiB, fraction)` (Fig. 6).
     pub fn mem_cdf(&self) -> Vec<(f64, f64)> {
         self.mem_mib.cdf()
+    }
+
+    /// Folds another recorder's samples into this one (per-thread
+    /// recorder reduction; see [`LatencyRecorder::merge`]).
+    pub fn merge(&mut self, other: &SlackRecorder) {
+        self.cpu_cores.merge(&other.cpu_cores);
+        self.mem_mib.merge(&other.mem_mib);
     }
 }
 

@@ -12,6 +12,12 @@ use serde::{Deserialize, Serialize};
 /// node-level batch pays one, so control-plane Mbps grows with the
 /// *payload* rate instead of the message rate.
 ///
+/// The sharded Controller preserves this: a `CpuStatsBatch` arriving at
+/// the controller is charged one envelope on the wire *before* the
+/// in-process fan-out splits it across shard queues, so sharding changes
+/// neither side of the batched-vs-unbatched comparison (asserted by
+/// `batch_fan_out_is_charged_one_envelope` in `escra-core::sharded`).
+///
 /// ```
 /// use escra_net::batch_wire_bytes;
 /// // One shared 40-byte envelope + 24 bytes per container...

@@ -14,10 +14,17 @@ echo "== tests (workspace) =="
 cargo test -q --workspace
 
 echo "== bench smoke (controller ingest vs committed baseline) =="
-# One short overhead_controller round: validates the batched ingest path
-# end to end and fails on a >20% ingest-rate regression (or a lost 2x
-# speedup over the pre-batching baseline) vs BENCH_controller.json.
+# One short overhead_controller round: validates the batched and sharded
+# ingest paths end to end and fails on a >20% ingest-rate regression (or
+# a lost 2x speedup over the pre-batching baseline, or a sharded 4-thread
+# scaling factor below 2.5x) vs BENCH_controller.json.
 cargo run -q -p escra-bench --release --bin overhead_controller -- --smoke --check
+
+echo "== parallel sweep identity (parallel vs serial, byte-for-byte) =="
+# The experiment bins run on the parallel sweep runner; --serial re-runs
+# the same grid serially and fails unless the JSON dumps are identical.
+cargo run -q -p escra-bench --release --bin report_period_sweep -- --smoke --serial
+cargo run -q -p escra-bench --release --bin table1_summary -- --smoke --serial
 
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,166 @@
+//! Property tests for distribution merges: [`LogHistogram::merge`] and
+//! the escra-metrics recorder merges must behave exactly like recording
+//! the concatenated sample stream — the correctness requirement for
+//! reducing per-thread recorders from a sharded or parallel-sweep run
+//! into one distribution.
+//!
+//! Counts and bucket contents add exactly (integers), so percentiles of
+//! a merged histogram equal percentiles of the concatenation *exactly*.
+//! Only the mean is compared with a float tolerance: `merge` adds the
+//! two partial sums, while concatenated recording accumulates sample by
+//! sample, and f64 addition is not associative.
+
+use escra::metrics::{LatencyRecorder, SlackRecorder};
+use escra::simcore::histogram::LogHistogram;
+use escra::simcore::time::SimDuration;
+use proptest::prelude::*;
+
+/// Percentile grid used for the equality and monotonicity checks.
+const GRID: [f64; 10] = [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0];
+
+fn hist_of(values: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn assert_mean_close(merged: f64, concat: f64) -> Result<(), TestCaseError> {
+    let tol = 1e-9 * (1.0 + merged.abs());
+    prop_assert!(
+        (merged - concat).abs() <= tol,
+        "mean diverged beyond float tolerance: merged={merged}, concat={concat}"
+    );
+    Ok(())
+}
+
+proptest! {
+    /// `a.merge(&b)` is indistinguishable from recording `a ++ b` into a
+    /// fresh histogram: exact count/min/max/percentiles, mean within
+    /// float tolerance.
+    #[test]
+    fn histogram_merge_matches_concatenated_recording(
+        xs in proptest::collection::vec(-2.0f64..1e6, 0..400),
+        ys in proptest::collection::vec(-2.0f64..1e6, 0..400),
+    ) {
+        let mut merged = hist_of(&xs);
+        let other = hist_of(&ys);
+        merged.merge(&other);
+
+        let concat: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        let expect = hist_of(&concat);
+
+        prop_assert_eq!(merged.count(), expect.count());
+        prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(merged.min().to_bits(), expect.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), expect.max().to_bits());
+        assert_mean_close(merged.mean(), expect.mean())?;
+        // Bucket contents are integer counts, so percentile lookups agree
+        // exactly — not just approximately.
+        for p in GRID {
+            prop_assert_eq!(
+                merged.percentile(p).to_bits(),
+                expect.percentile(p).to_bits(),
+                "p{} diverged",
+                p
+            );
+        }
+    }
+
+    /// Percentiles of a merged histogram are monotone non-decreasing in
+    /// `p`, and bounded by min/max.
+    #[test]
+    fn merged_percentiles_are_monotone(
+        xs in proptest::collection::vec(0.0f64..1e4, 1..300),
+        ys in proptest::collection::vec(0.0f64..1e4, 1..300),
+    ) {
+        let mut h = hist_of(&xs);
+        h.merge(&hist_of(&ys));
+        let mut last = f64::NEG_INFINITY;
+        for p in GRID {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "percentile not monotone at p{}: {} < {}", p, v, last);
+            prop_assert!(v >= h.min() && v <= h.max());
+            last = v;
+        }
+    }
+
+    /// [`LatencyRecorder::merge`] preserves success/failure counts
+    /// exactly and reproduces the concatenated latency distribution.
+    #[test]
+    fn latency_recorder_merge_preserves_accounting(
+        lat_a in proptest::collection::vec(1u64..120_000, 0..200),
+        lat_b in proptest::collection::vec(1u64..120_000, 0..200),
+        fail_a in 0u64..20,
+        fail_b in 0u64..20,
+    ) {
+        let record = |lats: &[u64], fails: u64| {
+            let mut r = LatencyRecorder::new();
+            for &us in lats {
+                r.record_success(SimDuration::from_micros(us));
+            }
+            for _ in 0..fails {
+                r.record_failure();
+            }
+            r
+        };
+        let mut merged = record(&lat_a, fail_a);
+        merged.merge(&record(&lat_b, fail_b));
+
+        let concat: Vec<u64> = lat_a.iter().chain(lat_b.iter()).copied().collect();
+        let expect = record(&concat, fail_a + fail_b);
+
+        prop_assert_eq!(merged.successes(), expect.successes());
+        prop_assert_eq!(merged.failures(), fail_a + fail_b);
+        assert_mean_close(merged.mean_ms(), expect.mean_ms())?;
+        let mut last = f64::NEG_INFINITY;
+        for p in GRID {
+            prop_assert_eq!(merged.p(p).to_bits(), expect.p(p).to_bits(), "p{} diverged", p);
+            prop_assert!(merged.p(p) >= last);
+            last = merged.p(p);
+        }
+        // Throughput is derived from the (exact) success count.
+        let d = SimDuration::from_secs(30);
+        prop_assert_eq!(
+            merged.throughput(d).to_bits(),
+            expect.throughput(d).to_bits()
+        );
+    }
+
+    /// [`SlackRecorder::merge`] reduces both resource distributions like
+    /// the concatenation, keeping the two histograms in lock-step.
+    #[test]
+    fn slack_recorder_merge_matches_concatenation(
+        a in proptest::collection::vec((0.0f64..16.0, 0.0f64..4096.0), 0..200),
+        b in proptest::collection::vec((0.0f64..16.0, 0.0f64..4096.0), 0..200),
+    ) {
+        let record = |samples: &[(f64, f64)]| {
+            let mut r = SlackRecorder::new();
+            for &(cpu, mem) in samples {
+                r.record(cpu, mem);
+            }
+            r
+        };
+        let mut merged = record(&a);
+        merged.merge(&record(&b));
+
+        let concat: Vec<(f64, f64)> = a.iter().chain(b.iter()).copied().collect();
+        let expect = record(&concat);
+
+        prop_assert_eq!(merged.count(), expect.count());
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let mut last_cpu = f64::NEG_INFINITY;
+        let mut last_mem = f64::NEG_INFINITY;
+        for p in GRID {
+            prop_assert_eq!(merged.cpu_p(p).to_bits(), expect.cpu_p(p).to_bits());
+            prop_assert_eq!(merged.mem_p(p).to_bits(), expect.mem_p(p).to_bits());
+            prop_assert!(merged.cpu_p(p) >= last_cpu);
+            prop_assert!(merged.mem_p(p) >= last_mem);
+            last_cpu = merged.cpu_p(p);
+            last_mem = merged.mem_p(p);
+        }
+        prop_assert_eq!(merged.cpu_cdf().len(), expect.cpu_cdf().len());
+        prop_assert_eq!(merged.mem_cdf().len(), expect.mem_cdf().len());
+    }
+}
