@@ -7,6 +7,8 @@
 
 use crate::telemetry::ToAgent;
 use escra_cluster::{Cluster, ContainerId, NodeId};
+use escra_metrics::trace::{NoopSink, TraceEventKind, TraceSink};
+use escra_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -88,7 +90,24 @@ impl Agent {
     ///
     /// Commands addressed to containers that no longer exist are ignored
     /// (they may have been terminated while the RPC was in flight).
+    ///
+    /// Untraced compatibility wrapper over [`Agent::apply_traced`];
+    /// trace events are discarded.
     pub fn apply(&mut self, cluster: &mut Cluster, cmd: ToAgent) -> AgentReport {
+        self.apply_traced(SimTime::ZERO, cluster, cmd, &mut NoopSink)
+    }
+
+    /// [`Agent::apply`] with a [`TraceSink`]: stale discards, safety
+    /// valve clamps and per-container reclaim shrinks are recorded,
+    /// stamped at `now`. The Agent does not own the sink (it stays
+    /// `Clone + Eq` state), so the driver passes one in per call.
+    pub fn apply_traced<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        cluster: &mut Cluster,
+        cmd: ToAgent,
+        sink: &mut S,
+    ) -> AgentReport {
         match cmd {
             ToAgent::SetCpuQuota {
                 container,
@@ -97,6 +116,14 @@ impl Agent {
             } => {
                 if Self::is_stale(&self.cpu_seq, container, seq) {
                     self.stale_discarded += 1;
+                    if S::ENABLED {
+                        sink.emit(
+                            now,
+                            TraceEventKind::AgentStaleDrop {
+                                container: container.as_u64(),
+                            },
+                        );
+                    }
                     return AgentReport::Stale;
                 }
                 self.cpu_seq.insert(container, seq);
@@ -114,6 +141,14 @@ impl Agent {
             } => {
                 if Self::is_stale(&self.mem_seq, container, seq) {
                     self.stale_discarded += 1;
+                    if S::ENABLED {
+                        sink.emit(
+                            now,
+                            TraceEventKind::AgentStaleDrop {
+                                container: container.as_u64(),
+                            },
+                        );
+                    }
                     return AgentReport::Stale;
                 }
                 self.mem_seq.insert(container, seq);
@@ -128,6 +163,16 @@ impl Agent {
                         let usage = c.mem.usage_bytes();
                         if limit_bytes < usage {
                             self.valve_clamps += 1;
+                            if S::ENABLED {
+                                sink.emit(
+                                    now,
+                                    TraceEventKind::AgentValveClamp {
+                                        container: container.as_u64(),
+                                        limit_bytes,
+                                        usage_bytes: usage,
+                                    },
+                                );
+                            }
                         }
                         c.mem.set_limit_bytes(limit_bytes.max(usage).max(1));
                     }
@@ -135,7 +180,7 @@ impl Agent {
                 AgentReport::Applied
             }
             ToAgent::ReclaimMemory { delta_bytes } => {
-                AgentReport::Reclaimed(self.reclaim_sweep(cluster, delta_bytes))
+                AgentReport::Reclaimed(self.reclaim_sweep_traced(now, cluster, delta_bytes, sink))
             }
         }
     }
@@ -144,6 +189,18 @@ impl Agent {
     /// this node with `limit > usage + δ`, shrink the limit to
     /// `usage + δ` and record ψ.
     pub fn reclaim_sweep(&self, cluster: &mut Cluster, delta_bytes: u64) -> Vec<ReclaimEntry> {
+        self.reclaim_sweep_traced(SimTime::ZERO, cluster, delta_bytes, &mut NoopSink)
+    }
+
+    /// [`Agent::reclaim_sweep`] with a [`TraceSink`]: one
+    /// [`TraceEventKind::ReclaimShrink`] per container shrunk.
+    pub fn reclaim_sweep_traced<S: TraceSink>(
+        &self,
+        now: SimTime,
+        cluster: &mut Cluster,
+        delta_bytes: u64,
+        sink: &mut S,
+    ) -> Vec<ReclaimEntry> {
         let ids = cluster.running_on(self.node);
         let mut out = Vec::new();
         for id in ids {
@@ -153,6 +210,16 @@ impl Agent {
                 if limit > usage + delta_bytes {
                     let psi = c.mem.shrink_to(usage + delta_bytes);
                     if psi > 0 {
+                        if S::ENABLED {
+                            sink.emit(
+                                now,
+                                TraceEventKind::ReclaimShrink {
+                                    container: id.as_u64(),
+                                    new_limit_bytes: c.mem.limit_bytes(),
+                                    psi_bytes: psi,
+                                },
+                            );
+                        }
                         out.push(ReclaimEntry {
                             container: id,
                             new_limit_bytes: c.mem.limit_bytes(),

@@ -317,6 +317,17 @@ impl ResourceAllocator {
         self.slab.len() - self.free.len()
     }
 
+    /// The windowed inputs behind a container's most recent CPU
+    /// decision: `(throttle rate, mean unused runtime in cores)`. Read
+    /// right after [`ResourceAllocator::on_cpu_stats`] these are exactly
+    /// the means the decision consumed (the sample is pushed before the
+    /// decision is taken) — the trace layer records them alongside each
+    /// quota move.
+    pub fn decision_inputs(&self, container: ContainerId) -> Option<(f64, f64)> {
+        self.track(container)
+            .map(|t| (t.throttle_win.mean(), t.unused_win.mean()))
+    }
+
     /// Ingests one per-period CPU statistic and produces the quota
     /// decision for the next period (paper §IV-D1).
     ///

@@ -18,6 +18,7 @@ use crate::config::EscraConfig;
 use crate::telemetry::{CpuStatsEntry, ToAgent, ToController};
 use escra_cfs::CpuPeriodStats;
 use escra_cluster::{AppId, ContainerId, NodeId};
+use escra_metrics::trace::{NoopSink, TraceEventKind, TraceSink};
 use escra_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -82,19 +83,37 @@ impl ControllerStats {
     /// (the duplicate `ReclaimMemory` commands themselves are deduped
     /// at drain time and idempotent on Agents).
     pub fn merge(&mut self, other: &ControllerStats) {
-        self.cpu_stats_ingested += other.cpu_stats_ingested;
-        self.quota_updates += other.quota_updates;
-        self.scale_ups += other.scale_ups;
-        self.scale_downs += other.scale_downs;
-        self.mem_grants += other.mem_grants;
-        self.ooms_absorbed += other.ooms_absorbed;
-        self.ooms_fatal += other.ooms_fatal;
-        self.reclaim_sweeps += other.reclaim_sweeps;
-        self.reclaimed_bytes += other.reclaimed_bytes;
-        self.grant_retries += other.grant_retries;
-        self.grant_reconciles += other.grant_reconciles;
-        self.grants_abandoned += other.grants_abandoned;
-        self.register_errors += other.register_errors;
+        // Full destructuring, no `..`: adding a stats field without
+        // deciding how it merges must fail to compile, not silently
+        // lose the new counter in `--threads` runs.
+        let ControllerStats {
+            cpu_stats_ingested,
+            quota_updates,
+            scale_ups,
+            scale_downs,
+            mem_grants,
+            ooms_absorbed,
+            ooms_fatal,
+            reclaim_sweeps,
+            reclaimed_bytes,
+            grant_retries,
+            grant_reconciles,
+            grants_abandoned,
+            register_errors,
+        } = *other;
+        self.cpu_stats_ingested += cpu_stats_ingested;
+        self.quota_updates += quota_updates;
+        self.scale_ups += scale_ups;
+        self.scale_downs += scale_downs;
+        self.mem_grants += mem_grants;
+        self.ooms_absorbed += ooms_absorbed;
+        self.ooms_fatal += ooms_fatal;
+        self.reclaim_sweeps += reclaim_sweeps;
+        self.reclaimed_bytes += reclaimed_bytes;
+        self.grant_retries += grant_retries;
+        self.grant_reconciles += grant_reconciles;
+        self.grants_abandoned += grants_abandoned;
+        self.register_errors += register_errors;
     }
 }
 
@@ -110,8 +129,15 @@ struct PendingGrant {
 }
 
 /// The logically centralized Escra Controller.
+///
+/// Generic over a [`TraceSink`] so a per-decision audit trail can be
+/// recorded without taxing untraced embeddings: the default
+/// [`NoopSink`] has `ENABLED = false`, every instrumentation site is
+/// guarded by that constant, and the compiled hot path is identical to
+/// the uninstrumented one (held by the `overhead_controller --check`
+/// regression gate).
 #[derive(Debug)]
-pub struct Controller {
+pub struct Controller<S: TraceSink = NoopSink> {
     allocator: ResourceAllocator,
     nodes: BTreeSet<NodeId>,
     next_reclaim_at: SimTime,
@@ -123,11 +149,20 @@ pub struct Controller {
     /// OOM grants awaiting an Agent ack.
     pending_mem_grants: BTreeMap<ContainerId, PendingGrant>,
     stats: ControllerStats,
+    sink: S,
 }
 
 impl Controller {
-    /// Creates a Controller (and its embedded Resource Allocator).
+    /// Creates an untraced Controller (and its embedded Resource
+    /// Allocator).
     pub fn new(cfg: EscraConfig) -> Self {
+        Controller::with_sink(cfg, NoopSink)
+    }
+}
+
+impl<S: TraceSink> Controller<S> {
+    /// Creates a Controller recording its decisions into `sink`.
+    pub fn with_sink(cfg: EscraConfig, sink: S) -> Self {
         let first_reclaim = SimTime::ZERO + cfg.reclaim_interval;
         Controller {
             allocator: ResourceAllocator::new(cfg),
@@ -137,7 +172,19 @@ impl Controller {
             next_seq: 0,
             pending_mem_grants: BTreeMap::new(),
             stats: ControllerStats::default(),
+            sink,
         }
+    }
+
+    /// Read access to the trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Swaps the trace sink, returning the old one — how a finished run
+    /// extracts its recorder without tearing the Controller down.
+    pub fn replace_sink(&mut self, sink: S) -> S {
+        std::mem::replace(&mut self.sink, sink)
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -309,16 +356,35 @@ impl Controller {
                 }
             }
             ToController::CpuStats { container, stats } => {
-                self.ingest_cpu_stats(container, stats, out);
+                self.ingest_cpu_stats(now, container, stats, out);
             }
-            ToController::CpuStatsBatch { entries, .. } => {
-                self.ingest_cpu_batch(&entries, out);
+            ToController::CpuStatsBatch { node, entries } => {
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        TraceEventKind::BatchIngest {
+                            node: node.as_u64(),
+                            entries: entries.len() as u32,
+                        },
+                    );
+                }
+                self.ingest_cpu_batch_at(now, &entries, out);
             }
             ToController::OomEvent {
                 container,
                 shortfall_bytes,
                 current_limit_bytes,
             } => {
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        TraceEventKind::OomTrap {
+                            container: container.as_u64(),
+                            shortfall_bytes,
+                            current_limit_bytes,
+                        },
+                    );
+                }
                 // Reconcile first: if our books say the container should
                 // already be above the limit it reports, the grant that
                 // raised it was lost in flight. Re-send the tracked limit
@@ -330,6 +396,15 @@ impl Controller {
                 ) {
                     if tracked > current_limit_bytes {
                         self.stats.grant_reconciles += 1;
+                        if S::ENABLED {
+                            self.sink.emit(
+                                now,
+                                TraceEventKind::GrantReconciled {
+                                    container: container.as_u64(),
+                                    tracked_limit_bytes: tracked,
+                                },
+                            );
+                        }
                         let action = self.mem_grant_action(now, node, container, tracked);
                         out.push(action);
                         return;
@@ -339,6 +414,15 @@ impl Controller {
                     Ok(OomDecision::Grant { new_limit_bytes }) => {
                         self.stats.mem_grants += 1;
                         self.stats.ooms_absorbed += 1;
+                        if S::ENABLED {
+                            self.sink.emit(
+                                now,
+                                TraceEventKind::GrantIssued {
+                                    container: container.as_u64(),
+                                    new_limit_bytes,
+                                },
+                            );
+                        }
                         if let Some(node) = self.allocator.node_of(container) {
                             let action =
                                 self.mem_grant_action(now, node, container, new_limit_bytes);
@@ -346,8 +430,17 @@ impl Controller {
                         }
                     }
                     Ok(OomDecision::NeedReclaim) => {
+                        if S::ENABLED {
+                            self.sink.emit(
+                                now,
+                                TraceEventKind::GrantDenied {
+                                    container: container.as_u64(),
+                                },
+                            );
+                        }
                         self.pending_ooms.push((container, shortfall_bytes));
-                        out.extend(self.launch_reclaim());
+                        let sweep = self.launch_reclaim(now);
+                        out.extend(sweep);
                     }
                     Ok(OomDecision::Kill) | Err(_) => {}
                 }
@@ -356,6 +449,14 @@ impl Controller {
                 if let Some(pending) = self.pending_mem_grants.get(&container) {
                     if pending.seq <= seq {
                         self.pending_mem_grants.remove(&container);
+                        if S::ENABLED {
+                            self.sink.emit(
+                                now,
+                                TraceEventKind::GrantAcked {
+                                    container: container.as_u64(),
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -367,9 +468,24 @@ impl Controller {
     /// message in entry order (a property test holds the two paths to
     /// decision-for-decision equality). Appends actions to `out` without
     /// clearing it.
+    ///
+    /// Timeless compatibility wrapper over
+    /// [`Controller::ingest_cpu_batch_at`]: trace events (if any) are
+    /// stamped at `SimTime::ZERO`. Decisions do not depend on the stamp.
     pub fn ingest_cpu_batch(&mut self, entries: &[CpuStatsEntry], out: &mut Vec<Action>) {
+        self.ingest_cpu_batch_at(SimTime::ZERO, entries, out);
+    }
+
+    /// [`Controller::ingest_cpu_batch`] with the arrival time, so the
+    /// per-decision trace is stamped correctly.
+    pub fn ingest_cpu_batch_at(
+        &mut self,
+        now: SimTime,
+        entries: &[CpuStatsEntry],
+        out: &mut Vec<Action>,
+    ) {
         for entry in entries {
-            self.ingest_cpu_stats(entry.container, entry.stats, out);
+            self.ingest_cpu_stats(now, entry.container, entry.stats, out);
         }
     }
 
@@ -383,6 +499,7 @@ impl Controller {
     /// §VI-I overhead tables derive messages-on-the-wire from them.
     fn ingest_cpu_stats(
         &mut self,
+        now: SimTime,
         container: ContainerId,
         stats: CpuPeriodStats,
         out: &mut Vec<Action>,
@@ -401,6 +518,22 @@ impl Controller {
             self.stats.scale_ups += 1;
         } else {
             self.stats.scale_downs += 1;
+        }
+        if S::ENABLED {
+            let (throttle_rate, unused_mean_cores) = self
+                .allocator
+                .decision_inputs(container)
+                .unwrap_or((0.0, 0.0));
+            self.sink.emit(
+                now,
+                TraceEventKind::CpuDecision {
+                    container: container.as_u64(),
+                    scale_up: is_scale_up,
+                    new_quota_cores,
+                    throttle_rate,
+                    unused_mean_cores,
+                },
+            );
         }
         let seq = self.next_seq();
         out.push(Action::Agent {
@@ -429,7 +562,8 @@ impl Controller {
             while self.next_reclaim_at <= now {
                 self.next_reclaim_at += interval;
             }
-            actions.extend(self.launch_reclaim());
+            let sweep = self.launch_reclaim(now);
+            actions.extend(sweep);
         }
         actions
     }
@@ -466,9 +600,26 @@ impl Controller {
             if grant.retries >= max_retries {
                 self.pending_mem_grants.remove(&container);
                 self.stats.grants_abandoned += 1;
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        TraceEventKind::GrantAbandoned {
+                            container: container.as_u64(),
+                        },
+                    );
+                }
                 continue;
             }
             self.stats.grant_retries += 1;
+            if S::ENABLED {
+                self.sink.emit(
+                    now,
+                    TraceEventKind::GrantRetried {
+                        container: container.as_u64(),
+                        retries: grant.retries + 1,
+                    },
+                );
+            }
             let seq = self.next_seq();
             self.pending_mem_grants.insert(
                 container,
@@ -490,9 +641,18 @@ impl Controller {
         actions
     }
 
-    fn launch_reclaim(&mut self) -> Vec<Action> {
+    fn launch_reclaim(&mut self, now: SimTime) -> Vec<Action> {
         self.stats.reclaim_sweeps += 1;
         let delta = self.allocator.config().delta_bytes;
+        if S::ENABLED {
+            self.sink.emit(
+                now,
+                TraceEventKind::ReclaimSweep {
+                    nodes: self.nodes.len() as u32,
+                    delta_bytes: delta,
+                },
+            );
+        }
         self.nodes
             .iter()
             .map(|node| Action::Agent {
@@ -508,6 +668,16 @@ impl Controller {
         for e in entries {
             if let Ok(psi) = self.allocator.apply_reclaim(e.container, e.new_limit_bytes) {
                 self.stats.reclaimed_bytes += psi;
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        TraceEventKind::ReclaimApplied {
+                            container: e.container.as_u64(),
+                            new_limit_bytes: e.new_limit_bytes,
+                            psi_bytes: psi,
+                        },
+                    );
+                }
             }
         }
         let pending = std::mem::take(&mut self.pending_ooms);
@@ -517,17 +687,42 @@ impl Controller {
                 Ok(OomDecision::Grant { new_limit_bytes }) => {
                     self.stats.mem_grants += 1;
                     self.stats.ooms_absorbed += 1;
+                    if S::ENABLED {
+                        self.sink.emit(
+                            now,
+                            TraceEventKind::GrantIssued {
+                                container: container.as_u64(),
+                                new_limit_bytes,
+                            },
+                        );
+                    }
                     if let Some(node) = self.allocator.node_of(container) {
                         actions.push(self.mem_grant_action(now, node, container, new_limit_bytes));
                     }
                 }
                 Ok(OomDecision::Kill) => {
                     self.stats.ooms_fatal += 1;
+                    if S::ENABLED {
+                        self.sink.emit(
+                            now,
+                            TraceEventKind::OomKill {
+                                container: container.as_u64(),
+                            },
+                        );
+                    }
                     actions.push(Action::KillContainer(container));
                 }
                 Ok(OomDecision::NeedReclaim) | Err(_) => {
                     // Cannot happen from retry, but stay safe: kill.
                     self.stats.ooms_fatal += 1;
+                    if S::ENABLED {
+                        self.sink.emit(
+                            now,
+                            TraceEventKind::OomKill {
+                                container: container.as_u64(),
+                            },
+                        );
+                    }
                     actions.push(Action::KillContainer(container));
                 }
             }

@@ -14,6 +14,7 @@
 use crate::config::EscraConfig;
 use crate::controller::{Action, Controller};
 use escra_cluster::{AppId, Cluster, ClusterError, ContainerId, ContainerSpec};
+use escra_metrics::trace::TraceSink;
 use escra_simcore::time::SimTime;
 
 /// A Distributed Container configuration: the "set of YAML files" of
@@ -62,11 +63,11 @@ pub fn initial_mem_limit(global_mem_bytes: u64, sigma: f64, n_containers: usize)
 /// # Panics
 ///
 /// Panics if the config has no containers.
-pub fn deploy_app(
+pub fn deploy_app<S: TraceSink>(
     cfg: &EscraConfig,
     config: &AppConfig,
     cluster: &mut Cluster,
-    controller: &mut Controller,
+    controller: &mut Controller<S>,
     now: SimTime,
 ) -> Result<(Vec<ContainerId>, Vec<Action>), ClusterError> {
     let n = config.containers.len();

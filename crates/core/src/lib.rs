@@ -29,6 +29,14 @@
 //!   that lifts the §VI-I single-core ingest ceiling while preserving
 //!   decision-for-decision identity with the sequential path.
 //!
+//! Both Controller front-ends are generic over a
+//! [`TraceSink`](escra_metrics::trace::TraceSink): the default
+//! [`NoopSink`](escra_metrics::trace::NoopSink) compiles every
+//! instrumentation site out, while a
+//! [`TraceRecorder`](escra_metrics::trace::TraceRecorder) captures the
+//! §VI event stream (ingest, decisions, OOM grants, reclamation,
+//! shard-channel depth) for the `trace_dump` exposition.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -79,6 +87,10 @@ pub use distributed_container::DistributedContainer;
 pub use sharded::{PoolSnapshot, ShardedController};
 pub use telemetry::{CpuStatsEntry, ToAgent, ToController};
 pub use watcher::ContainerWatcher;
+
+// Trace plumbing re-exported so embedders of `Controller<S>` need not
+// depend on `escra-metrics` directly.
+pub use escra_metrics::trace::{NoopSink, TraceRecorder, TraceSink};
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {

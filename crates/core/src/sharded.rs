@@ -52,6 +52,7 @@ use crate::config::EscraConfig;
 use crate::controller::{Action, Controller, ControllerStats};
 use crate::telemetry::{CpuStatsEntry, ToAgent, ToController};
 use escra_cluster::{AppId, ContainerId, NodeId};
+use escra_metrics::trace::{NoopSink, TraceEventKind, TraceSink};
 use escra_simcore::time::SimTime;
 use std::collections::BTreeSet;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -84,7 +85,10 @@ enum ShardMsg {
     },
     /// This shard's slice of one node's telemetry batch. The entry
     /// buffer is returned to the router through the recycle channel.
-    Batch { entries: Vec<CpuStatsEntry> },
+    Batch {
+        now: SimTime,
+        entries: Vec<CpuStatsEntry>,
+    },
     /// Time advanced: run grant retries and the reclaim schedule.
     Tick { now: SimTime },
     /// This shard's slice of an Agent's reclamation report (possibly
@@ -116,6 +120,9 @@ enum ShardMsg {
     Drain { spare: Vec<Action> },
     /// Read-only queries; each replies with the matching variant.
     Query(ShardQuery),
+    /// Swap the shard Controller's trace sink for a default one;
+    /// replies `Sink` with the recorded trace.
+    TakeSink,
     /// Stop the worker loop.
     Shutdown,
 }
@@ -133,7 +140,7 @@ enum ShardQuery {
 }
 
 /// A shard worker's reply.
-enum ShardReply {
+enum ShardReply<S> {
     Registered(Result<(), AllocatorError>),
     Deregistered(Result<(), AllocatorError>),
     Actions(Vec<Action>),
@@ -145,6 +152,7 @@ enum ShardReply {
     PoolLimits(Option<PoolSnapshot>),
     Pending(usize),
     Busy(Duration),
+    Sink(S),
 }
 
 /// A point-in-time copy of one application pool's books, readable
@@ -161,21 +169,21 @@ pub struct PoolSnapshot {
     pub allocated_mem_bytes: u64,
 }
 
-struct ShardHandle {
+struct ShardHandle<S> {
     tx: SyncSender<ShardMsg>,
-    rx: Receiver<ShardReply>,
+    rx: Receiver<ShardReply<S>>,
     recycle_rx: Receiver<Vec<CpuStatsEntry>>,
     join: Option<JoinHandle<()>>,
 }
 
-impl ShardHandle {
+impl<S> ShardHandle<S> {
     fn send(&self, msg: ShardMsg) {
         self.tx
             .send(msg)
             .expect("shard worker exited while the router holds it");
     }
 
-    fn recv(&self) -> ShardReply {
+    fn recv(&self) -> ShardReply<S> {
         self.rx
             .recv()
             .expect("shard worker exited while a reply was pending")
@@ -188,9 +196,16 @@ impl ShardHandle {
 /// Emitted [`Action`]s accumulate inside each shard and are collected —
 /// in deterministic shard order, into a caller-owned buffer — with
 /// [`ShardedController::drain_actions_into`].
+///
+/// Generic over a [`TraceSink`] like [`Controller`]: each shard's
+/// Controller records into its own sink (created per shard by
+/// [`ShardedController::with_sinks`]) and the router records channel
+/// enqueue/dequeue depth into one more; a finished run extracts all of
+/// them with [`ShardedController::take_sinks`]. The default
+/// [`NoopSink`] compiles all of it out.
 #[derive(Debug)]
-pub struct ShardedController {
-    handles: Vec<ShardHandle>,
+pub struct ShardedController<S: TraceSink = NoopSink> {
+    handles: Vec<ShardHandle<S>>,
     /// Direct-mapped container → shard index (`NO_SHARD` = unknown),
     /// keyed by the raw container id exactly like the allocator's slab
     /// index (ids are sequential and never reused).
@@ -203,21 +218,30 @@ pub struct ShardedController {
     known_nodes: BTreeSet<NodeId>,
     /// Per-drain scratch for deduplicating cluster-wide sweep commands.
     seen_reclaims: Vec<(NodeId, u64)>,
+    /// The router's own sink: shard-channel enqueue/dequeue events.
+    sink: S,
+    /// Work messages sent to each shard since its last drain. Only
+    /// maintained when `S::ENABLED` (the depth exists for the trace).
+    queue_depth: Vec<u32>,
+    /// The latest time observed by the router, stamped on drain-time
+    /// channel events (drains carry no `now` of their own).
+    last_now: SimTime,
 }
 
-impl std::fmt::Debug for ShardHandle {
+impl<S> std::fmt::Debug for ShardHandle<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardHandle").finish_non_exhaustive()
     }
 }
 
-fn shard_worker(
+fn shard_worker<S: TraceSink + Default>(
     cfg: EscraConfig,
+    sink: S,
     rx: Receiver<ShardMsg>,
-    tx: SyncSender<ShardReply>,
+    tx: SyncSender<ShardReply<S>>,
     recycle_tx: SyncSender<Vec<CpuStatsEntry>>,
 ) {
-    let mut controller = Controller::new(cfg);
+    let mut controller = Controller::with_sink(cfg, sink);
     let mut pending: Vec<Action> = Vec::new();
     let mut ingest_busy = Duration::ZERO;
     while let Ok(msg) = rx.recv() {
@@ -248,9 +272,9 @@ fn shard_worker(
                     Err(AllocatorError::UnknownContainer(container))
                 }));
             }
-            ShardMsg::Batch { mut entries } => {
+            ShardMsg::Batch { now, mut entries } => {
                 let t = Instant::now();
-                controller.ingest_cpu_batch(&entries, &mut pending);
+                controller.ingest_cpu_batch_at(now, &entries, &mut pending);
                 ingest_busy += t.elapsed();
                 entries.clear();
                 // Best effort: if the recycle channel is full the buffer
@@ -318,6 +342,9 @@ fn shard_worker(
                 };
                 let _ = tx.send(reply);
             }
+            ShardMsg::TakeSink => {
+                let _ = tx.send(ShardReply::Sink(controller.replace_sink(S::default())));
+            }
             ShardMsg::Shutdown => break,
         }
     }
@@ -325,22 +352,37 @@ fn shard_worker(
 
 impl ShardedController {
     /// Spawns `n_shards` worker threads, each owning an independent
-    /// [`Controller`] built from `cfg`.
+    /// [`Controller`] built from `cfg`, with tracing compiled out.
     ///
     /// # Panics
     ///
     /// Panics if `n_shards` is zero.
     pub fn new(cfg: EscraConfig, n_shards: usize) -> Self {
+        ShardedController::with_sinks(cfg, n_shards, |_| NoopSink)
+    }
+}
+
+impl<S: TraceSink + Default + Send + 'static> ShardedController<S> {
+    /// Spawns `n_shards` worker threads, each owning an independent
+    /// [`Controller`] built from `cfg` and recording into `mk(i)`.
+    /// `mk(n_shards)` — one past the last shard — builds the router's
+    /// own sink for shard-channel events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    pub fn with_sinks(cfg: EscraConfig, n_shards: usize, mut mk: impl FnMut(usize) -> S) -> Self {
         assert!(n_shards > 0, "a sharded controller needs at least 1 shard");
         let handles = (0..n_shards)
             .map(|i| {
                 let (msg_tx, msg_rx) = sync_channel::<ShardMsg>(SHARD_CHANNEL_DEPTH);
-                let (reply_tx, reply_rx) = sync_channel::<ShardReply>(2);
+                let (reply_tx, reply_rx) = sync_channel::<ShardReply<S>>(2);
                 let (recycle_tx, recycle_rx) = sync_channel::<Vec<CpuStatsEntry>>(RECYCLE_DEPTH);
                 let cfg = cfg.clone();
+                let sink = mk(i);
                 let join = std::thread::Builder::new()
                     .name(format!("escra-shard-{i}"))
-                    .spawn(move || shard_worker(cfg, msg_rx, reply_tx, recycle_tx))
+                    .spawn(move || shard_worker(cfg, sink, msg_rx, reply_tx, recycle_tx))
                     .expect("spawn shard worker");
                 ShardHandle {
                     tx: msg_tx,
@@ -357,7 +399,46 @@ impl ShardedController {
             spares: (0..n_shards).map(|_| Vec::new()).collect(),
             known_nodes: BTreeSet::new(),
             seen_reclaims: Vec::new(),
+            sink: mk(n_shards),
+            queue_depth: vec![0; n_shards],
+            last_now: SimTime::ZERO,
         }
+    }
+
+    /// Extracts every recorded trace: each shard Controller's sink (in
+    /// shard order), then the router's own — `n_shards + 1` sinks total.
+    /// The live Controllers continue recording into fresh defaults.
+    pub fn take_sinks(&mut self) -> Vec<S> {
+        let mut sinks = Vec::with_capacity(self.handles.len() + 1);
+        for h in &self.handles {
+            h.send(ShardMsg::TakeSink);
+            match h.recv() {
+                ShardReply::Sink(s) => sinks.push(s),
+                _ => unreachable!("take-sink replies Sink"),
+            }
+        }
+        sinks.push(std::mem::take(&mut self.sink));
+        sinks
+    }
+}
+
+impl<S: TraceSink> ShardedController<S> {
+    /// Sends a *work* message (telemetry, tick, reclaim report) to
+    /// `shard`, recording channel depth into the router's sink. Control
+    /// messages (registration, queries, drains) bypass this — they are
+    /// not part of the §VI-I data path the trace observes.
+    fn send_work(&mut self, shard: usize, msg: ShardMsg) {
+        if S::ENABLED {
+            self.queue_depth[shard] += 1;
+            self.sink.emit(
+                self.last_now,
+                TraceEventKind::ShardEnqueue {
+                    shard: shard as u32,
+                    depth: self.queue_depth[shard],
+                },
+            );
+        }
+        self.handles[shard].send(msg);
     }
 
     /// Number of shards (worker threads).
@@ -485,6 +566,9 @@ impl ShardedController {
     /// after the envelope, so per-shard sub-batches must never be
     /// re-charged (a test in this module holds that property).
     pub fn handle(&mut self, now: SimTime, msg: ToController) {
+        if S::ENABLED {
+            self.last_now = now;
+        }
         match msg {
             ToController::Register {
                 container,
@@ -505,12 +589,26 @@ impl ShardedController {
                     }
                 }
             }
-            ToController::CpuStatsBatch { entries, .. } => self.ingest_cpu_batch(&entries),
+            ToController::CpuStatsBatch { node, entries } => {
+                // The envelope-level ingest event is the router's (the
+                // shards see only sub-batches): one per node datagram,
+                // exactly like the sequential Controller's.
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        TraceEventKind::BatchIngest {
+                            node: node.as_u64(),
+                            entries: entries.len() as u32,
+                        },
+                    );
+                }
+                self.ingest_cpu_batch_at(now, &entries);
+            }
             ToController::CpuStats { container, .. }
             | ToController::OomEvent { container, .. }
             | ToController::LimitAck { container, .. } => {
                 let shard = self.shard_for(container);
-                self.handles[shard].send(ShardMsg::Wire { now, msg });
+                self.send_work(shard, ShardMsg::Wire { now, msg });
             }
         }
     }
@@ -525,10 +623,20 @@ impl ShardedController {
 
     /// Splits one node's telemetry batch across home shards and feeds
     /// each shard its slice, preserving entry order within each shard.
+    /// Equivalent to [`ShardedController::ingest_cpu_batch_at`] at
+    /// `SimTime::ZERO` (the shard Controllers' decision logic is
+    /// time-independent; the time only stamps trace events).
     ///
     /// In steady state this allocates nothing: the split buffers are
     /// recycled back from the workers once drained.
     pub fn ingest_cpu_batch(&mut self, entries: &[CpuStatsEntry]) {
+        self.ingest_cpu_batch_at(SimTime::ZERO, entries);
+    }
+
+    /// Time-stamped batch ingest: like
+    /// [`ShardedController::ingest_cpu_batch`], with `now` carried to
+    /// the shard Controllers for their trace events.
+    pub fn ingest_cpu_batch_at(&mut self, now: SimTime, entries: &[CpuStatsEntry]) {
         for e in entries {
             let shard = self.shard_for(e.container);
             self.split_scratch[shard].push(*e);
@@ -539,7 +647,13 @@ impl ShardedController {
             }
             let replacement = self.take_entry_buf(shard);
             let batch = std::mem::replace(&mut self.split_scratch[shard], replacement);
-            self.handles[shard].send(ShardMsg::Batch { entries: batch });
+            self.send_work(
+                shard,
+                ShardMsg::Batch {
+                    now,
+                    entries: batch,
+                },
+            );
         }
     }
 
@@ -547,8 +661,11 @@ impl ShardedController {
     /// schedule run shard-locally; resulting commands appear in the next
     /// drain (duplicate cluster-wide sweeps are deduplicated there).
     pub fn tick(&mut self, now: SimTime) {
-        for h in &self.handles {
-            h.send(ShardMsg::Tick { now });
+        if S::ENABLED {
+            self.last_now = now;
+        }
+        for shard in 0..self.handles.len() {
+            self.send_work(shard, ShardMsg::Tick { now });
         }
     }
 
@@ -560,13 +677,16 @@ impl ShardedController {
     /// exactly as [`Controller::on_reclaim_report`] retries on any
     /// report.
     pub fn on_reclaim_report(&mut self, now: SimTime, entries: &[ReclaimEntry]) {
+        if S::ENABLED {
+            self.last_now = now;
+        }
         let mut slices: Vec<Vec<ReclaimEntry>> =
             (0..self.handles.len()).map(|_| Vec::new()).collect();
         for e in entries {
             slices[self.shard_for(e.container)].push(*e);
         }
-        for (h, entries) in self.handles.iter().zip(slices) {
-            h.send(ShardMsg::ReclaimReport { now, entries });
+        for (shard, entries) in slices.into_iter().enumerate() {
+            self.send_work(shard, ShardMsg::ReclaimReport { now, entries });
         }
     }
 
@@ -582,6 +702,16 @@ impl ShardedController {
     /// wire must carry) one sweep, as under a sequential Controller.
     pub fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
         for shard in 0..self.handles.len() {
+            if S::ENABLED {
+                self.sink.emit(
+                    self.last_now,
+                    TraceEventKind::ShardDequeue {
+                        shard: shard as u32,
+                        drained: self.queue_depth[shard],
+                    },
+                );
+                self.queue_depth[shard] = 0;
+            }
             let spare = std::mem::take(&mut self.spares[shard]);
             self.handles[shard].send(ShardMsg::Drain { spare });
         }
@@ -616,9 +746,16 @@ impl ShardedController {
         out
     }
 
-    fn query(&self, shard: usize, q: ShardQuery) -> ShardReply {
+    fn query(&self, shard: usize, q: ShardQuery) -> ShardReply<S> {
         self.handles[shard].send(ShardMsg::Query(q));
         self.handles[shard].recv()
+    }
+
+    /// Work messages queued to each shard since its last drain, in shard
+    /// order. All zeros unless `S::ENABLED` (the counters exist for the
+    /// shard-channel trace events).
+    pub fn queue_depths(&self) -> &[u32] {
+        &self.queue_depth
     }
 
     /// Aggregate lifetime counters, merged across shards with
@@ -717,7 +854,7 @@ impl ShardedController {
     }
 }
 
-impl Drop for ShardedController {
+impl<S: TraceSink> Drop for ShardedController<S> {
     fn drop(&mut self) {
         for h in &self.handles {
             // The worker may already be gone if it panicked; join below
@@ -977,8 +1114,26 @@ mod tests {
         };
         let b = a;
         a.merge(&b);
-        assert_eq!(a.cpu_stats_ingested, 2);
-        assert_eq!(a.register_errors, 26);
-        assert_eq!(a.reclaim_sweeps, 16);
+        // Full-struct equality: a struct literal with every field named
+        // means adding a counter without updating merge (and this
+        // expectation) fails to compile, not silently under-merges.
+        assert_eq!(
+            a,
+            ControllerStats {
+                cpu_stats_ingested: 2,
+                quota_updates: 4,
+                scale_ups: 6,
+                scale_downs: 8,
+                mem_grants: 10,
+                ooms_absorbed: 12,
+                ooms_fatal: 14,
+                reclaim_sweeps: 16,
+                reclaimed_bytes: 18,
+                grant_retries: 20,
+                grant_reconciles: 22,
+                grants_abandoned: 24,
+                register_errors: 26,
+            }
+        );
     }
 }

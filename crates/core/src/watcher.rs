@@ -11,6 +11,7 @@
 
 use crate::controller::{Action, Controller};
 use escra_cluster::{Cluster, ContainerEvent, ContainerId};
+use escra_metrics::trace::TraceSink;
 use escra_simcore::time::SimTime;
 use std::collections::BTreeSet;
 
@@ -42,7 +43,11 @@ impl ContainerWatcher {
     ///
     /// Returns the Controller actions to carry out (initial limit
     /// writes for new containers).
-    pub fn sync(&mut self, cluster: &mut Cluster, controller: &mut Controller) -> Vec<Action> {
+    pub fn sync<S: TraceSink>(
+        &mut self,
+        cluster: &mut Cluster,
+        controller: &mut Controller<S>,
+    ) -> Vec<Action> {
         let events = cluster.drain_events();
         let mut actions = Vec::new();
         for (_at, event) in events {
@@ -86,10 +91,10 @@ impl ContainerWatcher {
 
 /// Convenience: watcher-driven sync at a point in time — drains events,
 /// registers/deregisters, and returns the actions.
-pub fn watch_once(
+pub fn watch_once<S: TraceSink>(
     watcher: &mut ContainerWatcher,
     cluster: &mut Cluster,
-    controller: &mut Controller,
+    controller: &mut Controller<S>,
     _now: SimTime,
 ) -> Vec<Action> {
     watcher.sync(cluster, controller)

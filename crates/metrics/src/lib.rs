@@ -7,13 +7,26 @@
 //!   distributions, aggregate-limit time series, and the Table I / Fig. 4
 //!   [`recorders::Comparison`] between a baseline and Escra;
 //! * [`report`] — aligned text tables, CDF dumps and JSON export used by
-//!   every figure/table binary in `escra-bench`.
+//!   every figure/table binary in `escra-bench`;
+//! * [`trace`] — zero-allocation per-decision audit trail: the
+//!   [`trace::TraceSink`] trait (with the compile-to-nothing
+//!   [`trace::NoopSink`]), the ring-buffer [`trace::TraceRecorder`], and
+//!   the deterministic multi-recorder merge/render used by `trace_dump`;
+//! * [`expo`] — Prometheus-style text exposition and JSON snapshots of
+//!   controller counters, shard depths and decision-latency histograms.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod expo;
 pub mod recorders;
 pub mod report;
+pub mod trace;
 
+pub use expo::{ExpoSnapshot, HistogramSummary, NamedCounter, PromText, ShardDepth};
 pub use recorders::{Comparison, LatencyRecorder, RunMetrics, SlackRecorder};
 pub use report::{cdf_lines, downsample_cdf, to_json, Table};
+pub use trace::{
+    grant_latency_histogram, kind_counts, merge_events, render_line, render_merged, NoopSink,
+    TraceEvent, TraceEventKind, TraceRecorder, TraceSink,
+};

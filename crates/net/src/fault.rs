@@ -9,6 +9,7 @@
 //! run through the injector is byte-identical to one without it.
 
 use crate::fabric::Addr;
+use escra_metrics::trace::{NoopSink, TraceEventKind, TraceSink};
 use escra_simcore::rng::SimRng;
 use escra_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -210,21 +211,64 @@ impl FaultInjector {
 
     /// Decides the fate of one `from → to` message sent at `now`.
     pub fn decide(&mut self, now: SimTime, from: Addr, to: Addr) -> FaultDecision {
+        self.decide_traced(now, from, to, &mut NoopSink)
+    }
+
+    /// Like [`FaultInjector::decide`], recording each injected fault
+    /// (drop, duplicate, delay spike) into `sink`. Clean deliveries emit
+    /// nothing; the decision itself is identical to `decide` — tracing
+    /// never consumes RNG draws.
+    pub fn decide_traced<S: TraceSink>(
+        &mut self,
+        now: SimTime,
+        from: Addr,
+        to: Addr,
+        sink: &mut S,
+    ) -> FaultDecision {
         if self.plan.is_none() {
             return FaultDecision::CLEAN;
         }
         if self.plan.partitions.iter().any(|p| p.severs(from, to, now)) {
             self.stats.partitioned += 1;
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    TraceEventKind::FaultDrop {
+                        from: from.as_u64(),
+                        to: to.as_u64(),
+                        partitioned: true,
+                    },
+                );
+            }
             return FaultDecision::Drop;
         }
         if self.plan.drop_probability > 0.0 && self.rng.chance(self.plan.drop_probability) {
             self.stats.dropped += 1;
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    TraceEventKind::FaultDrop {
+                        from: from.as_u64(),
+                        to: to.as_u64(),
+                        partitioned: false,
+                    },
+                );
+            }
             return FaultDecision::Drop;
         }
         let copies = if self.plan.duplicate_probability > 0.0
             && self.rng.chance(self.plan.duplicate_probability)
         {
             self.stats.duplicated += 1;
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    TraceEventKind::FaultDuplicate {
+                        from: from.as_u64(),
+                        to: to.as_u64(),
+                    },
+                );
+            }
             2
         } else {
             1
@@ -234,6 +278,16 @@ impl FaultInjector {
             && self.rng.chance(self.plan.delay_spike_probability)
         {
             self.stats.delayed += 1;
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    TraceEventKind::FaultDelay {
+                        from: from.as_u64(),
+                        to: to.as_u64(),
+                        extra_us: self.plan.delay_spike.as_micros(),
+                    },
+                );
+            }
             self.plan.delay_spike
         } else {
             SimDuration::ZERO
@@ -365,5 +419,44 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn invalid_loss_rejected() {
         let _ = FaultPlan::none().with_loss(1.5);
+    }
+
+    #[test]
+    fn traced_decisions_match_untraced_and_record_faults() {
+        use escra_metrics::trace::TraceRecorder;
+        let plan = FaultPlan::none()
+            .with_loss(0.3)
+            .with_duplicates(0.2)
+            .with_delay_spikes(0.1, SimDuration::from_millis(200))
+            .with_partition(addr(0), addr(1), SimTime::ZERO, SimTime::from_millis(50));
+        let mut plain = FaultInjector::new(plan.clone(), 42);
+        let mut traced = FaultInjector::new(plan, 42);
+        let mut rec = TraceRecorder::with_capacity(4096);
+        for i in 0..1000 {
+            let now = SimTime::from_millis(i);
+            assert_eq!(
+                plain.decide(now, addr(i % 3), addr(3 - (i % 2))),
+                traced.decide_traced(now, addr(i % 3), addr(3 - (i % 2)), &mut rec)
+            );
+        }
+        let stats = traced.stats();
+        assert_eq!(stats, plain.stats(), "tracing never consumes RNG draws");
+        let events: Vec<_> = rec.iter().collect();
+        let drops = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::FaultDrop { .. }))
+            .count() as u64;
+        let dups = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::FaultDuplicate { .. }))
+            .count() as u64;
+        let delays = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::FaultDelay { .. }))
+            .count() as u64;
+        assert_eq!(drops, stats.dropped + stats.partitioned);
+        assert_eq!(dups, stats.duplicated);
+        assert_eq!(delays, stats.delayed);
+        assert!(drops > 0 && dups > 0 && delays > 0, "plan actually fired");
     }
 }

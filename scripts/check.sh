@@ -26,6 +26,15 @@ echo "== parallel sweep identity (parallel vs serial, byte-for-byte) =="
 cargo run -q -p escra-bench --release --bin report_period_sweep -- --smoke --serial
 cargo run -q -p escra-bench --release --bin table1_summary -- --smoke --serial
 
+echo "== trace determinism (serial vs sharded, byte-for-byte) =="
+# trace_dump replays a fixed-seed faulty scenario with every component
+# recording trace events; the merged decision trace must not depend on
+# the Controller's thread count.
+cargo run -q -p escra-bench --release --bin trace_dump
+cargo run -q -p escra-bench --release --bin trace_dump -- --threads 4
+cmp target/escra-results/trace_dump_serial.trace \
+    target/escra-results/trace_dump_t4.trace
+
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,147 @@
+//! Slab-lifecycle property tests: churn the Resource Allocator's
+//! container registry (register / deregister / slot reuse) against a
+//! naive `BTreeMap` model and hold every public view to the model.
+//!
+//! The allocator stores container state in a dense slab with a free
+//! list and a direct-mapped id index, and each app keeps a swap-remove
+//! member list (see `allocator.rs`). All three structures are invisible
+//! through the public API — which is exactly why the model test exists:
+//! any slot-recycling or member-list bookkeeping bug shows up as a
+//! wrong `quota_of`/`tracked_*_sum`/pool answer, never as a crash.
+
+use escra::cluster::{AppId, ContainerId, NodeId};
+use escra::core::allocator::ResourceAllocator;
+use escra::core::{AllocatorError, EscraConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const MIB: u64 = 1 << 20;
+/// Registered apps; the strategy also draws this value itself as an
+/// *unregistered* app id to exercise the `UnknownApp` path.
+const APPS: u64 = 4;
+const IDS: u64 = 24;
+
+/// What the model remembers per live container: the app, the node, and
+/// the `(cpu, mem)` grant the pool actually returned at registration.
+type Model = BTreeMap<u64, (AppId, NodeId, f64, u64)>;
+
+fn model_cpu_sum(model: &Model, app: AppId) -> f64 {
+    model
+        .values()
+        .filter(|(a, ..)| *a == app)
+        .map(|(_, _, cpu, _)| *cpu)
+        .sum()
+}
+
+fn model_mem_sum(model: &Model, app: AppId) -> u64 {
+    model
+        .values()
+        .filter(|(a, ..)| *a == app)
+        .map(|(.., mem)| *mem)
+        .sum()
+}
+
+/// Every public view must agree with the model after every operation.
+fn assert_matches_model(alloc: &ResourceAllocator, model: &Model) {
+    assert_eq!(alloc.container_count(), model.len());
+    for raw in 0..IDS {
+        let id = ContainerId::new(raw);
+        match model.get(&raw) {
+            Some((app, node, cpu, mem)) => {
+                assert_eq!(alloc.app_of(id), Some(*app));
+                assert_eq!(alloc.node_of(id), Some(*node));
+                assert_eq!(alloc.quota_of(id), Some(*cpu));
+                assert_eq!(alloc.mem_limit_of(id), Some(*mem));
+            }
+            None => {
+                assert_eq!(alloc.app_of(id), None);
+                assert_eq!(alloc.node_of(id), None);
+                assert_eq!(alloc.quota_of(id), None);
+                assert_eq!(alloc.mem_limit_of(id), None);
+            }
+        }
+    }
+    for a in 0..APPS {
+        let app = AppId::new(a);
+        let cpu = model_cpu_sum(model, app);
+        let mem = model_mem_sum(model, app);
+        assert!((alloc.tracked_cpu_sum(app) - cpu).abs() < 1e-9);
+        assert_eq!(alloc.tracked_mem_sum(app), mem);
+        // Σ tracked == pool.allocated: the slab, the member lists, and
+        // the pool books must never drift apart.
+        let pool = alloc.app_pool(app).expect("registered app");
+        assert!((pool.allocated_cpu_cores() - cpu).abs() < 1e-9);
+        assert_eq!(pool.allocated_mem_bytes(), mem);
+    }
+}
+
+proptest! {
+    /// Arbitrary register/deregister churn, including immediate id
+    /// reuse after deregistration (free-list recycling) and error
+    /// cases, stays view-identical to the `BTreeMap` model.
+    #[test]
+    fn slab_churn_matches_btreemap_model(
+        ops in proptest::collection::vec(
+            (0u8..2, 0u64..IDS, 0u64..APPS + 1, 0u64..3, 1u64..9),
+            1..160,
+        ),
+    ) {
+        let cfg = EscraConfig::default();
+        let mut alloc = ResourceAllocator::new(cfg.clone());
+        for a in 0..APPS {
+            alloc.register_app(AppId::new(a), 16.0, 4096 * MIB);
+        }
+        let mut model: Model = BTreeMap::new();
+
+        for (op, raw, app_raw, node_raw, size) in ops {
+            let id = ContainerId::new(raw);
+            let app = AppId::new(app_raw);
+            let node = NodeId::new(node_raw);
+            let want_cpu = size as f64 * 0.5;
+            let want_mem = size * 64 * MIB;
+            match op {
+                0 => {
+                    let res = alloc.register_container(id, app, node, want_cpu, want_mem);
+                    match model.entry(raw) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            prop_assert_eq!(res, Err(AllocatorError::DuplicateContainer(id)));
+                        }
+                        std::collections::btree_map::Entry::Vacant(_) if app_raw >= APPS => {
+                            prop_assert_eq!(res, Err(AllocatorError::UnknownApp(app)));
+                        }
+                        std::collections::btree_map::Entry::Vacant(vacant) => {
+                            // The grant may be pool-capped but never exceeds
+                            // the request (floored at the configured minima).
+                            let (cpu, mem) = res.expect("fresh id, known app");
+                            prop_assert!(cpu <= want_cpu.max(cfg.min_quota_cores) + 1e-12);
+                            prop_assert!(mem <= want_mem.max(cfg.min_mem_bytes));
+                            vacant.insert((app, node, cpu, mem));
+                        }
+                    }
+                }
+                _ => {
+                    let res = alloc.deregister_container(id);
+                    if model.remove(&raw).is_some() {
+                        prop_assert_eq!(res, Ok(()));
+                    } else {
+                        prop_assert_eq!(res, Err(AllocatorError::UnknownContainer(id)));
+                    }
+                }
+            }
+            assert_matches_model(&alloc, &model);
+        }
+
+        // Tear everything down: every pool must read fully released.
+        let live: Vec<u64> = model.keys().copied().collect();
+        for raw in live {
+            alloc.deregister_container(ContainerId::new(raw)).expect("live");
+            model.remove(&raw);
+        }
+        assert_matches_model(&alloc, &model);
+        for a in 0..APPS {
+            let pool = alloc.app_pool(AppId::new(a)).expect("registered app");
+            prop_assert!(pool.allocated_cpu_cores().abs() < 1e-9);
+            prop_assert_eq!(pool.allocated_mem_bytes(), 0);
+        }
+    }
+}
