@@ -25,7 +25,8 @@ pub mod sweep;
 pub mod tracking;
 
 pub use microsim::{
-    controller_addr, node_addr, profile_run, run, run_with_profiles, MicroSimConfig, MicroSimOutput,
+    controller_addr, node_addr, profile_run, run, run_with_profiles, MicroSimConfig,
+    MicroSimOutput, ReportPlan, SimEngine, SimPhysics, SimStats,
 };
 pub use policy::Policy;
 pub use sweep::{default_threads, run_serial, run_sweep, scenario_seed, scenarios, Scenario};

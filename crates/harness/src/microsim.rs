@@ -1,10 +1,22 @@
 //! The microservice experiment simulator.
 //!
 //! Drives a modelled application (`escra_workloads::microservice`) on a
-//! simulated cluster under one of the [`Policy`] variants, period by
-//! period, and produces the paper's metrics:
+//! simulated cluster under one of the [`Policy`] variants and produces
+//! the paper's metrics. Two interchangeable drivers advance the run:
 //!
-//! 1. generate request arrivals for the period;
+//! * [`SimEngine::EventHeap`] (default) — a discrete-event scheduler on
+//!   [`escra_simcore::events::EventQueue`]. Fluid windows close on
+//!   `Round` events, per-node report timers (optionally heterogeneous
+//!   and jittered, see [`ReportPlan`]) flush telemetry, request
+//!   timeouts expire exactly via `Timeout` events, and background work
+//!   arrives on per-container exponential `Background` chains. Idle
+//!   nodes schedule nothing and cost nothing.
+//! * [`SimEngine::SerialTick`] — the frozen fixed-tick reference loop,
+//!   kept for the serial-vs-event-heap identity gate.
+//!
+//! Each fluid window performs, in order:
+//!
+//! 1. generate request arrivals for the window;
 //! 2. arbitrate CPU per node (max–min fair, quota-capped);
 //! 3. drain container queues in DAG order (fluid FIFO — throttling
 //!    becomes queueing delay);
@@ -13,6 +25,17 @@
 //! 6. emit per-period telemetry to the Escra controller, or per-second
 //!    samples to the baseline scalers;
 //! 7. sample slack and aggregate limits every second.
+//!
+//! # Determinism
+//!
+//! Runs are bit-for-bit reproducible. All randomness forks off the
+//! master seed with fixed labels (service times, background chains,
+//! report jitter, workload arrivals), and every heap event carries a
+//! canonical key `(priority << 48) | entity`, so the pop order at equal
+//! timestamps is a pure function of the schedule — independent of push
+//! interleaving. At one instant the order is: `Round` (close the
+//! window), `Timeout` (per request id), `Background` (per container),
+//! `NodeReport` (per node), `PostRound` (controller tick + sampling).
 
 // Index-based loops are deliberate here: most iterate one struct field
 // while mutating siblings, which iterators cannot express without
@@ -41,6 +64,79 @@ use escra_simcore::time::{SimDuration, SimTime};
 use escra_workloads::{MicroserviceApp, RequestGenerator, WorkloadKind};
 use std::collections::VecDeque;
 
+/// Which driver advances the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// The discrete-event heap scheduler (default).
+    #[default]
+    EventHeap,
+    /// The fixed per-period reference loop. Always runs
+    /// [`SimPhysics::TickCoupled`] physics regardless of the configured
+    /// physics: it exists as the frozen baseline the event engine is
+    /// checked against, and exact timers need the heap.
+    SerialTick,
+}
+
+/// How background events and request timeouts are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimPhysics {
+    /// Exact event timing (default): background work arrives on a
+    /// per-container exponential inter-arrival chain (rate independent
+    /// of the report period), and request timeouts expire at exactly
+    /// `arrival + timeout` via heap events. Requires
+    /// [`SimEngine::EventHeap`].
+    #[default]
+    Exact,
+    /// The legacy tick-coupled approximation: one Bernoulli background
+    /// draw per container per window (`p = period / bg_interval`,
+    /// unclamped — the rate distorts with the report period), and
+    /// timeouts culled only at window starts. Kept for the identity
+    /// gate against [`SimEngine::SerialTick`].
+    TickCoupled,
+}
+
+/// Per-node telemetry report cadence for the event engine.
+///
+/// The physics quantum (the fluid window) stays the Escra report period;
+/// this plan only decouples *when each node's Agent flushes* its batched
+/// telemetry: node `n` reports every
+/// `period × period_multipliers[n % len]`, first offset by a
+/// deterministic per-node phase drawn uniformly from
+/// `[0, jitter_frac × node_period)`. Multi-window reports batch several
+/// entries per container into one datagram. Ignored by
+/// [`SimEngine::SerialTick`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportPlan {
+    /// Report-period multipliers, cycled over node index (empty = all 1).
+    pub period_multipliers: Vec<u32>,
+    /// Phase jitter as a fraction of the node's report period, in `[0, 1]`.
+    pub jitter_frac: f64,
+}
+
+impl ReportPlan {
+    /// The aligned plan: every node reports every period, no jitter
+    /// (byte-identical to the serial loop's telemetry schedule).
+    pub fn aligned() -> Self {
+        ReportPlan {
+            period_multipliers: Vec::new(),
+            jitter_frac: 0.0,
+        }
+    }
+}
+
+/// Counters describing what the simulation engine itself did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Fluid windows processed.
+    pub rounds: u64,
+    /// Heap events popped (0 under [`SimEngine::SerialTick`]).
+    pub heap_events: u64,
+    /// Background (GC-style) jobs injected.
+    pub bg_jobs: u64,
+    /// Requests failed by timeout (exact expiry or window-start cull).
+    pub timeout_failures: u64,
+}
+
 /// Configuration of one microservice experiment run.
 #[derive(Debug, Clone)]
 pub struct MicroSimConfig {
@@ -66,6 +162,12 @@ pub struct MicroSimConfig {
     /// delay spikes, partitions). [`FaultPlan::none`] — the default —
     /// reproduces the faultless run bit for bit.
     pub faults: FaultPlan,
+    /// The simulation driver.
+    pub engine: SimEngine,
+    /// Background-event / timeout physics.
+    pub physics: SimPhysics,
+    /// Optional per-node telemetry cadence (event engine only).
+    pub report_plan: Option<ReportPlan>,
 }
 
 impl MicroSimConfig {
@@ -82,6 +184,9 @@ impl MicroSimConfig {
             request_timeout: SimDuration::from_secs(10),
             profile_duration: SimDuration::from_secs(20),
             faults: FaultPlan::none(),
+            engine: SimEngine::default(),
+            physics: SimPhysics::default(),
+            report_plan: None,
         }
     }
 
@@ -94,6 +199,24 @@ impl MicroSimConfig {
     /// Sets the control-plane fault plan (builder style).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Sets the simulation driver (builder style).
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the background/timeout physics (builder style).
+    pub fn with_physics(mut self, physics: SimPhysics) -> Self {
+        self.physics = physics;
+        self
+    }
+
+    /// Sets the per-node telemetry cadence (builder style).
+    pub fn with_report_plan(mut self, plan: ReportPlan) -> Self {
+        self.report_plan = Some(plan);
         self
     }
 }
@@ -199,6 +322,51 @@ const BG_REQUEST: usize = usize::MAX;
 const CACHE_FILL: f64 = 0.03;
 /// Cache decay per idle period.
 const CACHE_DECAY: f64 = 0.995;
+/// Sentinel for "request holds no queued stage job".
+const NO_STAGE: usize = usize::MAX;
+
+/// Heap events of the event engine. Same-time ordering (by canonical
+/// key, see [`ev_key`]) is: Round, Timeout, Background, NodeReport,
+/// PostRound — so a window closes before the timeouts due at its edge
+/// fire (a completion at exactly the deadline still succeeds), background
+/// arrivals join the *next* window, telemetry reports the closed window,
+/// and the controller ticks after ingesting it.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Close of a fluid window: process `[t - period, t)`.
+    Round,
+    /// Exact request-timeout expiry ([`SimPhysics::Exact`] only).
+    Timeout {
+        /// Request index.
+        request: usize,
+    },
+    /// A background job lands on a container ([`SimPhysics::Exact`]).
+    Background {
+        /// Container index.
+        container: usize,
+    },
+    /// A node's Agent flushes its batched telemetry.
+    NodeReport {
+        /// Node index.
+        node: usize,
+    },
+    /// Post-window policy work: controller tick + per-second sampling.
+    PostRound,
+}
+
+/// Low 48 bits of the canonical key identify the entity; the high bits
+/// carry the same-time priority class.
+const KEY_ENTITY_MASK: u64 = (1 << 48) - 1;
+
+fn ev_key(ev: Ev) -> u64 {
+    match ev {
+        Ev::Round => 0,
+        Ev::Timeout { request } => (1 << 48) | (request as u64 & KEY_ENTITY_MASK),
+        Ev::Background { container } => (2 << 48) | (container as u64 & KEY_ENTITY_MASK),
+        Ev::NodeReport { node } => (3 << 48) | (node as u64 & KEY_ENTITY_MASK),
+        Ev::PostRound => 4 << 48,
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct ReqState {
@@ -256,6 +424,8 @@ pub struct MicroSimOutput {
     pub fault_stats: Option<FaultStats>,
     /// Per-container profiled peaks (profiling runs only).
     pub profiles: Vec<ContainerProfile>,
+    /// Engine counters (rounds, heap events, background jobs, timeouts).
+    pub sim: SimStats,
 }
 
 /// Runs one experiment: optional profiling pre-run (for baselines), then
@@ -329,19 +499,52 @@ struct Sim<'a> {
     containers: Vec<ContainerId>,
     tier_of: Vec<usize>,
     tier_members: Vec<Vec<usize>>,
+    /// Container indices hosted per node, in deployment order. Placement
+    /// is static (round-robin at deploy; OOM restarts keep the node), so
+    /// this is built once — the grant loop never rescans the fleet.
+    node_members: Vec<Vec<usize>>,
+    /// Nodes hosting at least one container; empty nodes are never
+    /// visited (and, on the event engine, never scheduled).
+    active_nodes: Vec<usize>,
     rr: Vec<usize>,
     queues: Vec<VecDeque<StageJob>>,
     requests: Vec<ReqState>,
+    /// Container currently queueing each request's stage job
+    /// ([`NO_STAGE`] before the first enqueue). Only consulted while the
+    /// request is unfinished, in which case it is always current.
+    stage_of: Vec<usize>,
     cache_bytes: Vec<f64>,
     /// End of each container's post-start warm-up burst.
     warm_until: Vec<SimTime>,
     gen: RequestGenerator,
     rng: SimRng,
     rng_bg: SimRng,
+    /// Per-container background chains ([`SimPhysics::Exact`]): stream
+    /// `root.fork("bc").fork(idx)` draws `work, gap, work, gap, …`, so
+    /// background timing is identical across report periods.
+    bg_streams: Vec<SimRng>,
     mode: Mode,
     period: SimDuration,
+    /// True when running exact physics on the event engine.
+    exact: bool,
+    /// True when telemetry batches are collected (Escra mode).
+    collect_stats: bool,
     metrics: RunMetrics,
+    stats: SimStats,
+    /// Per-node telemetry entries awaiting the node's next report.
+    pending_stats: Vec<Vec<CpuStatsEntry>>,
+    /// Timeout events created while processing a window, scheduled by
+    /// the event loop afterwards (exact physics only).
+    pending_timeouts: Vec<(SimTime, usize)>,
+    // Reusable per-window buffers (the hot loops allocate nothing).
+    grant: Vec<f64>,
+    consumed: Vec<f64>,
+    members_buf: Vec<usize>,
+    want_buf: Vec<f64>,
+    pot_buf: Vec<f64>,
     // per-second accumulators
+    next_second: SimTime,
+    second_index: u64,
     usage_sec_us: Vec<f64>,
     quota_sec_us: Vec<f64>,
     peak_cpu: Vec<f64>,
@@ -502,28 +705,69 @@ impl<'a> Sim<'a> {
             }
         }
 
+        // Static placement: build the per-node membership once.
+        let node_count = cluster.nodes().len();
+        let mut node_members: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        for (idx, cid) in containers.iter().enumerate() {
+            let node = cluster.container(*cid).expect("container").node().as_u64() as usize;
+            node_members[node].push(idx);
+        }
+        let active_nodes: Vec<usize> = (0..node_count)
+            .filter(|&nd| !node_members[nd].is_empty())
+            .collect();
+
+        let exact = cfg.engine == SimEngine::EventHeap && cfg.physics == SimPhysics::Exact;
+        if exact {
+            assert!(
+                cfg.request_timeout >= period,
+                "exact physics needs request_timeout >= report period"
+            );
+        }
+        let collect_stats = matches!(mode, Mode::Escra { .. });
         let policy_name = if profiling {
             "profile".to_string()
         } else {
             cfg.policy.name()
         };
         let root = SimRng::new(cfg.seed);
+        let rng_bg = root.fork(0x6263); // background events (tick-coupled)
+        let bg_streams: Vec<SimRng> = if exact {
+            (0..n).map(|idx| rng_bg.fork(idx as u64)).collect()
+        } else {
+            Vec::new()
+        };
         Sim {
             cfg,
             cluster,
             tier_of,
             tier_members,
+            node_members,
+            active_nodes,
             rr: vec![0; app.tiers.len()],
             queues: (0..n).map(|_| VecDeque::new()).collect(),
             requests: Vec::new(),
+            stage_of: Vec::new(),
             cache_bytes: vec![0.0; n],
             warm_until: vec![SimTime::ZERO + SimDuration::from_secs(2) + STARTUP_LEN; n],
             gen: RequestGenerator::new(cfg.workload.clone(), cfg.seed),
             rng: root.fork(0x7365_7276), // service times
-            rng_bg: root.fork(0x6263),   // background events
+            rng_bg,
+            bg_streams,
             mode,
             period,
+            exact,
+            collect_stats,
             metrics: RunMetrics::new(policy_name),
+            stats: SimStats::default(),
+            pending_stats: vec![Vec::new(); node_count],
+            pending_timeouts: Vec::new(),
+            grant: vec![0.0; n],
+            consumed: vec![0.0; n],
+            members_buf: Vec::new(),
+            want_buf: Vec::new(),
+            pot_buf: Vec::new(),
+            next_second: SimTime::from_secs(1),
+            second_index: 0,
             usage_sec_us: vec![0.0; n],
             quota_sec_us: vec![0.0; n],
             peak_cpu: vec![0.0; n],
@@ -555,6 +799,9 @@ impl<'a> Sim<'a> {
         let (idx, next_rr) =
             chosen.unwrap_or((members[start % members.len()], (start + 1) % members.len()));
         self.rr[tier] = next_rr;
+        if request != BG_REQUEST {
+            self.stage_of[request] = idx;
+        }
         self.queues[idx].push_back(StageJob {
             request,
             remaining_us: work_us,
@@ -575,295 +822,609 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Fails `request` at its exact deadline and removes its queued
+    /// stage job. The expired job vacates its queue at the deadline, so
+    /// the fluid window containing the deadline redistributes its
+    /// would-be service to survivors (the tick-coupled path instead let
+    /// it consume until the next window start).
+    fn expire_request(&mut self, request: usize) {
+        if self.requests[request].finished {
+            return;
+        }
+        self.requests[request].finished = true;
+        self.metrics.latency.record_failure();
+        self.stats.timeout_failures += 1;
+        let idx = self.stage_of[request];
+        if idx != NO_STAGE {
+            self.queues[idx].retain(|j| j.request != request);
+        }
+    }
+
     fn run(&mut self) -> MicroSimOutput {
+        match self.cfg.engine {
+            SimEngine::SerialTick => self.run_serial(),
+            SimEngine::EventHeap => self.run_event(),
+        }
+        self.finalize()
+    }
+
+    /// The frozen fixed-tick reference loop (tick-coupled physics).
+    fn run_serial(&mut self) {
         let end = SimTime::ZERO + WARMUP + self.cfg.duration;
         let period = self.period;
-        let period_us = period.as_micros() as f64;
-        let warmup_end = SimTime::ZERO + WARMUP;
-        let n = self.containers.len();
         let node_count = self.cluster.nodes().len();
-        let mut next_second = SimTime::from_secs(1);
-        let mut second_index: u64 = 0;
-
         let mut t = SimTime::ZERO;
         while t < end {
             let t_next = t + period;
             self.cluster.tick(t);
-
-            // 1. Arrivals.
-            if t_next > warmup_end {
-                let win_start = if t < warmup_end { warmup_end } else { t };
-                let arrivals = self.gen.arrivals_in(win_start, t_next);
-                for at in arrivals {
-                    let class = self.cfg.app.sample_class(&mut self.rng);
-                    let tier0 = self.cfg.app.classes[class].path[0];
-                    let work = self.cfg.app.tiers[tier0].sample_service_us(&mut self.rng);
-                    let req = self.requests.len();
-                    self.requests.push(ReqState {
-                        class,
-                        arrival: at,
-                        finished: false,
-                    });
-                    self.enqueue_stage(req, tier0, work, at);
+            self.round_arrivals(t, t_next);
+            self.round_bg_bernoulli(t);
+            self.round_cull(t);
+            self.round_grants(t);
+            self.round_drain(t, t_next);
+            self.round_account();
+            self.round_memory(t_next);
+            self.stats.rounds += 1;
+            if self.collect_stats {
+                for node in 0..node_count {
+                    self.send_node_batch(node, t_next);
                 }
             }
+            self.controller_round(t_next);
+            self.sample_seconds(t_next);
+            t = t_next;
+        }
+    }
 
-            // 1b. Background events (GC pauses etc.): preempt the queue.
-            for idx in 0..n {
-                let tier = &self.cfg.app.tiers[self.tier_of[idx]];
-                if tier.bg_interval_s > 0.0
-                    && self
-                        .rng_bg
-                        .chance(period.as_secs_f64() / tier.bg_interval_s)
-                    && self
+    /// The discrete-event driver. Mirrors the serial window grid
+    /// exactly: `Round` events close windows at `P, 2P, …` while the
+    /// window start precedes `end`; timers (timeouts, background
+    /// chains, report flushes) fire at their own instants in between.
+    fn run_event(&mut self) {
+        let cfg = self.cfg;
+        let period = self.period;
+        let end = SimTime::ZERO + WARMUP + cfg.duration;
+        // The grid's final window closes at `last_end`; no event beyond
+        // it is scheduled, matching the serial loop's horizon.
+        let rounds_total = end.as_micros().div_ceil(period.as_micros().max(1));
+        let last_end = SimTime::ZERO + period * rounds_total;
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        q.push_keyed(SimTime::ZERO + period, ev_key(Ev::Round), Ev::Round);
+        q.push_keyed(SimTime::ZERO + period, ev_key(Ev::PostRound), Ev::PostRound);
+        if self.collect_stats {
+            // One report timer per non-empty node; idle nodes never wake.
+            for i in 0..self.active_nodes.len() {
+                let node = self.active_nodes[i];
+                let ev = Ev::NodeReport { node };
+                let due = SimTime::ZERO + self.report_period_of(node) + self.report_phase_of(node);
+                if due <= last_end {
+                    q.push_keyed(due, ev_key(ev), ev);
+                }
+            }
+        }
+        if self.exact {
+            for idx in 0..self.containers.len() {
+                let interval = cfg.app.tiers[self.tier_of[idx]].bg_interval_s;
+                if interval > 0.0 {
+                    let gap = self.bg_streams[idx].exponential(1.0 / interval);
+                    let due = SimTime::ZERO + SimDuration::from_secs_f64(gap);
+                    let ev = Ev::Background { container: idx };
+                    if due <= last_end {
+                        q.push_keyed(due, ev_key(ev), ev);
+                    }
+                }
+            }
+        }
+        while let Some((t, ev)) = q.pop() {
+            debug_assert!(t <= last_end, "event past the run horizon");
+            self.stats.heap_events += 1;
+            match ev {
+                Ev::Round => {
+                    // Retrospective window close: the whole window
+                    // [t - P, t) resolves now, with send/OOM timestamps
+                    // at the window end and warm-up/cull checks at the
+                    // window start — exactly like the serial loop.
+                    let ws = t - period;
+                    self.cluster.tick(ws);
+                    self.round_arrivals(ws, t);
+                    if !self.exact {
+                        self.round_bg_bernoulli(ws);
+                        self.round_cull(ws);
+                    }
+                    self.round_grants(ws);
+                    self.round_drain(ws, t);
+                    self.round_account();
+                    self.round_memory(t);
+                    self.stats.rounds += 1;
+                    while let Some((due, req)) = self.pending_timeouts.pop() {
+                        let tev = Ev::Timeout { request: req };
+                        if due <= last_end {
+                            q.push_keyed(due, ev_key(tev), tev);
+                        }
+                    }
+                    if t < end {
+                        q.push_keyed(t + period, ev_key(Ev::Round), Ev::Round);
+                    }
+                }
+                Ev::Timeout { request } => self.expire_request(request),
+                Ev::Background { container } => {
+                    let tier = &cfg.app.tiers[self.tier_of[container]];
+                    if self
                         .cluster
-                        .container(self.containers[idx])
+                        .container(self.containers[container])
                         .is_some_and(|c| c.is_running())
-                {
-                    let mean_us = tier.bg_work_ms * 1_000.0;
-                    let sigma2 = (1.0f64 + 0.25).ln();
-                    let mu = mean_us.ln() - sigma2 / 2.0;
-                    let work = self.rng_bg.lognormal(mu, sigma2.sqrt());
-                    self.queues[idx].push_front(StageJob {
-                        request: BG_REQUEST,
-                        remaining_us: work,
-                        queued_at: t,
-                    });
+                    {
+                        let mean_us = tier.bg_work_ms * 1_000.0;
+                        let sigma2 = (1.0f64 + 0.25).ln();
+                        let mu = mean_us.ln() - sigma2 / 2.0;
+                        let work = self.bg_streams[container].lognormal(mu, sigma2.sqrt());
+                        self.queues[container].push_front(StageJob {
+                            request: BG_REQUEST,
+                            remaining_us: work,
+                            queued_at: t,
+                        });
+                        self.stats.bg_jobs += 1;
+                    }
+                    let gap = self.bg_streams[container].exponential(1.0 / tier.bg_interval_s);
+                    let due = t + SimDuration::from_secs_f64(gap);
+                    if due <= last_end {
+                        q.push_keyed(due, ev_key(ev), ev);
+                    }
+                }
+                Ev::NodeReport { node } => {
+                    self.send_node_batch(node, t);
+                    let due = t + self.report_period_of(node);
+                    if due <= last_end {
+                        q.push_keyed(due, ev_key(ev), ev);
+                    }
+                }
+                Ev::PostRound => {
+                    self.controller_round(t);
+                    self.sample_seconds(t);
+                    if t < end {
+                        q.push_keyed(t + period, ev_key(Ev::PostRound), Ev::PostRound);
+                    }
                 }
             }
+        }
+    }
 
-            // 2. Timeout culling.
-            let timeout = self.cfg.request_timeout;
-            for idx in 0..n {
-                let requests = &self.requests;
-                let dropped = cull_queue(&mut self.queues[idx], |r| {
-                    r != BG_REQUEST && requests[r].arrival + timeout < t
+    /// Telemetry flush cadence of `node` (the report plan's multiplier
+    /// over the base period; the base period without a plan).
+    fn report_period_of(&self, node: usize) -> SimDuration {
+        match &self.cfg.report_plan {
+            Some(plan) if !plan.period_multipliers.is_empty() => {
+                let m = plan.period_multipliers[node % plan.period_multipliers.len()].max(1);
+                self.period * m as u64
+            }
+            _ => self.period,
+        }
+    }
+
+    /// Deterministic per-node phase offset of the first report.
+    fn report_phase_of(&self, node: usize) -> SimDuration {
+        match &self.cfg.report_plan {
+            Some(plan) if plan.jitter_frac > 0.0 => {
+                let p = self.report_period_of(node).as_secs_f64();
+                let mut r = SimRng::new(self.cfg.seed)
+                    .fork(0x7265_7074) // "rept"
+                    .fork(node as u64);
+                SimDuration::from_secs_f64(r.uniform(0.0, plan.jitter_frac.min(1.0) * p))
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Window phase 1: request arrivals in `[win_start, win_end)`.
+    fn round_arrivals(&mut self, win_start: SimTime, win_end: SimTime) {
+        let warmup_end = SimTime::ZERO + WARMUP;
+        if win_end <= warmup_end {
+            return;
+        }
+        let from = if win_start < warmup_end {
+            warmup_end
+        } else {
+            win_start
+        };
+        let arrivals = self.gen.arrivals_in(from, win_end);
+        let timeout = self.cfg.request_timeout;
+        for at in arrivals {
+            let class = self.cfg.app.sample_class(&mut self.rng);
+            let tier0 = self.cfg.app.classes[class].path[0];
+            let work = self.cfg.app.tiers[tier0].sample_service_us(&mut self.rng);
+            let req = self.requests.len();
+            self.requests.push(ReqState {
+                class,
+                arrival: at,
+                finished: false,
+            });
+            self.stage_of.push(NO_STAGE);
+            if self.exact {
+                self.pending_timeouts.push((at + timeout, req));
+            }
+            self.enqueue_stage(req, tier0, work, at);
+        }
+    }
+
+    /// Tick-coupled background events: one Bernoulli draw per container
+    /// per window (rate `period / bg_interval`, unclamped — kept only
+    /// for [`SimPhysics::TickCoupled`] compatibility).
+    fn round_bg_bernoulli(&mut self, win_start: SimTime) {
+        let period = self.period;
+        for idx in 0..self.containers.len() {
+            let tier = &self.cfg.app.tiers[self.tier_of[idx]];
+            if tier.bg_interval_s > 0.0
+                && self
+                    .rng_bg
+                    .chance(period.as_secs_f64() / tier.bg_interval_s)
+                && self
+                    .cluster
+                    .container(self.containers[idx])
+                    .is_some_and(|c| c.is_running())
+            {
+                let mean_us = tier.bg_work_ms * 1_000.0;
+                let sigma2 = (1.0f64 + 0.25).ln();
+                let mu = mean_us.ln() - sigma2 / 2.0;
+                let work = self.rng_bg.lognormal(mu, sigma2.sqrt());
+                self.queues[idx].push_front(StageJob {
+                    request: BG_REQUEST,
+                    remaining_us: work,
+                    queued_at: win_start,
                 });
-                for r in dropped {
-                    if !self.requests[r].finished {
-                        self.requests[r].finished = true;
-                        self.metrics.latency.record_failure();
-                    }
+                self.stats.bg_jobs += 1;
+            }
+        }
+    }
+
+    /// Tick-coupled timeout culling at the window start.
+    fn round_cull(&mut self, cutoff: SimTime) {
+        let timeout = self.cfg.request_timeout;
+        for idx in 0..self.containers.len() {
+            let requests = &self.requests;
+            let dropped = cull_queue(&mut self.queues[idx], |r| {
+                r != BG_REQUEST && requests[r].arrival + timeout < cutoff
+            });
+            for r in dropped {
+                if !self.requests[r].finished {
+                    self.requests[r].finished = true;
+                    self.metrics.latency.record_failure();
+                    self.stats.timeout_failures += 1;
                 }
             }
+        }
+    }
 
-            // 3. CPU grants per node.
-            let mut grant = vec![0.0f64; n];
-            for node in 0..node_count {
-                let mut members: Vec<usize> = Vec::new();
-                for (idx, cid) in self.containers.iter().enumerate() {
-                    let c = self.cluster.container(*cid).expect("container");
-                    if c.node().as_u64() as usize == node && c.is_running() {
-                        members.push(idx);
-                    }
+    /// Window phase 3: per-node max–min fair CPU grants over the static
+    /// membership (no fleet-wide scan).
+    fn round_grants(&mut self, win_start: SimTime) {
+        let period_us = self.period.as_micros() as f64;
+        self.grant.fill(0.0);
+        let capacity = self.cfg.node_cores as f64 * period_us;
+        for ni in 0..self.active_nodes.len() {
+            let node = self.active_nodes[ni];
+            self.members_buf.clear();
+            self.want_buf.clear();
+            self.pot_buf.clear();
+            for mi in 0..self.node_members[node].len() {
+                let idx = self.node_members[node][mi];
+                let c = self
+                    .cluster
+                    .container(self.containers[idx])
+                    .expect("container");
+                if !c.is_running() {
+                    continue;
                 }
-                let capacity = self.cfg.node_cores as f64 * period_us;
-                let mut want = Vec::with_capacity(members.len());
-                let mut pot = Vec::with_capacity(members.len());
-                for &idx in &members {
-                    let c = self
-                        .cluster
-                        .container(self.containers[idx])
-                        .expect("container");
-                    let tier = &self.cfg.app.tiers[self.tier_of[idx]];
-                    let potential = c
-                        .cpu
-                        .runtime_remaining_us()
-                        .min(tier.parallelism * period_us);
-                    let startup_us = if t < self.warm_until[idx] {
-                        tier.startup_cpu_cores * period_us
-                    } else {
-                        0.0
-                    };
-                    pot.push(potential);
-                    want.push((backlog_us(&self.queues[idx]) + startup_us).min(potential));
-                }
-                let total_want: f64 = want.iter().sum();
-                if total_want <= capacity {
-                    // Uncontended: every container may burst up to its
-                    // quota/parallelism mid-period.
-                    for (k, &idx) in members.iter().enumerate() {
-                        grant[idx] = pot[k];
-                    }
+                debug_assert_eq!(c.node().as_u64() as usize, node, "placement is static");
+                let tier = &self.cfg.app.tiers[self.tier_of[idx]];
+                let potential = c
+                    .cpu
+                    .runtime_remaining_us()
+                    .min(tier.parallelism * period_us);
+                let startup_us = if win_start < self.warm_until[idx] {
+                    tier.startup_cpu_cores * period_us
                 } else {
-                    let shares = arbitrate(capacity, &want);
-                    for (k, &idx) in members.iter().enumerate() {
-                        grant[idx] = shares[k];
-                    }
+                    0.0
+                };
+                self.members_buf.push(idx);
+                self.pot_buf.push(potential);
+                self.want_buf
+                    .push((backlog_us(&self.queues[idx]) + startup_us).min(potential));
+            }
+            let total_want: f64 = self.want_buf.iter().sum();
+            if total_want <= capacity {
+                // Uncontended: every container may burst up to its
+                // quota/parallelism mid-period.
+                for (k, &idx) in self.members_buf.iter().enumerate() {
+                    self.grant[idx] = self.pot_buf[k];
+                }
+            } else {
+                let shares = arbitrate(capacity, &self.want_buf);
+                for (k, &idx) in self.members_buf.iter().enumerate() {
+                    self.grant[idx] = shares[k];
                 }
             }
+        }
+    }
 
-            // 4. Drain queues in DAG (tier) order.
-            let mut consumed = vec![0.0f64; n];
-            for tier in 0..self.cfg.app.tiers.len() {
-                for mi in 0..self.tier_members[tier].len() {
-                    let idx = self.tier_members[tier][mi];
-                    if grant[idx] <= 0.0 {
+    /// Window phase 4: drain queues in DAG (tier) order.
+    fn round_drain(&mut self, win_start: SimTime, win_end: SimTime) {
+        let period_us = self.period.as_micros() as f64;
+        self.consumed.fill(0.0);
+        for tier in 0..self.cfg.app.tiers.len() {
+            for mi in 0..self.tier_members[tier].len() {
+                let idx = self.tier_members[tier][mi];
+                if self.grant[idx] <= 0.0 {
+                    continue;
+                }
+                let rate = self.cfg.app.tiers[tier].parallelism;
+                let out = drain_fifo(
+                    &mut self.queues[idx],
+                    win_start,
+                    win_end,
+                    rate,
+                    self.grant[idx],
+                );
+                // Warm-up burst soaks up whatever the requests left.
+                let startup_us = if win_start < self.warm_until[idx] {
+                    self.cfg.app.tiers[tier].startup_cpu_cores * period_us
+                } else {
+                    0.0
+                };
+                self.consumed[idx] =
+                    out.consumed_us + startup_us.min(self.grant[idx] - out.consumed_us).max(0.0);
+                for (req, ctime) in out.completions {
+                    if req == BG_REQUEST || self.requests[req].finished {
                         continue;
                     }
-                    let rate = self.cfg.app.tiers[tier].parallelism;
-                    let out = drain_fifo(&mut self.queues[idx], t, t_next, rate, grant[idx]);
-                    // Warm-up burst soaks up whatever the requests left.
-                    let startup_us = if t < self.warm_until[idx] {
-                        self.cfg.app.tiers[tier].startup_cpu_cores * period_us
+                    let class = self.requests[req].class;
+                    let path = &self.cfg.app.classes[class].path;
+                    let pos = path.iter().position(|&p| p == tier).unwrap_or(0);
+                    if pos + 1 < path.len() {
+                        let next_tier = path[pos + 1];
+                        let work = self.cfg.app.tiers[next_tier].sample_service_us(&mut self.rng);
+                        self.enqueue_stage(req, next_tier, work, ctime);
                     } else {
-                        0.0
-                    };
-                    consumed[idx] =
-                        out.consumed_us + startup_us.min(grant[idx] - out.consumed_us).max(0.0);
-                    for (req, ctime) in out.completions {
-                        if req == BG_REQUEST || self.requests[req].finished {
-                            continue;
-                        }
-                        let class = self.requests[req].class;
-                        let path = &self.cfg.app.classes[class].path;
-                        let pos = path.iter().position(|&p| p == tier).unwrap_or(0);
-                        if pos + 1 < path.len() {
-                            let next_tier = path[pos + 1];
-                            let work =
-                                self.cfg.app.tiers[next_tier].sample_service_us(&mut self.rng);
-                            self.enqueue_stage(req, next_tier, work, ctime);
-                        } else {
-                            self.requests[req].finished = true;
-                            let latency = ctime.duration_since(self.requests[req].arrival);
-                            self.metrics.latency.record_success(latency);
-                        }
+                        self.requests[req].finished = true;
+                        let latency = ctime.duration_since(self.requests[req].arrival);
+                        self.metrics.latency.record_success(latency);
                     }
                 }
             }
+        }
+    }
 
-            // 5. CFS accounting + telemetry collection.
-            let mut period_stats = Vec::with_capacity(n);
-            for idx in 0..n {
-                let cid = self.containers[idx];
-                let running = self.cluster.container(cid).is_some_and(|c| c.is_running());
-                let c = self.cluster.container_mut(cid).expect("container");
-                if consumed[idx] > 0.0 {
-                    c.cpu.consume(consumed[idx]);
-                }
-                if running
-                    && backlog_us(&self.queues[idx]) > 1.0
-                    && c.cpu.runtime_remaining_us() <= period_us * 0.01
-                {
-                    c.cpu.mark_throttled();
-                }
-                let stats = c.cpu.end_period();
-                period_stats.push((running, stats));
-                self.usage_sec_us[idx] += stats.usage_us;
-                self.quota_sec_us[idx] += stats.quota_cores * period_us;
+    /// Window phase 5: CFS accounting + telemetry collection. Telemetry
+    /// entries accumulate per node and leave on the node's next report.
+    fn round_account(&mut self) {
+        let period_us = self.period.as_micros() as f64;
+        for idx in 0..self.containers.len() {
+            let cid = self.containers[idx];
+            let running = self.cluster.container(cid).is_some_and(|c| c.is_running());
+            let backlog = backlog_us(&self.queues[idx]);
+            let c = self.cluster.container_mut(cid).expect("container");
+            if self.consumed[idx] > 0.0 {
+                c.cpu.consume(self.consumed[idx]);
             }
-
-            // 6. Memory demand.
-            for idx in 0..n {
-                let tier = &self.cfg.app.tiers[self.tier_of[idx]];
-                let busy = consumed[idx] > 0.0 || !self.queues[idx].is_empty();
-                let cache_max = (tier.mem_cache_mib * MIB) as f64;
-                if busy {
-                    self.cache_bytes[idx] += (cache_max - self.cache_bytes[idx]) * CACHE_FILL;
-                } else {
-                    self.cache_bytes[idx] *= CACHE_DECAY;
-                }
-                // Only admitted (in-service) requests hold heap memory;
-                // the rest of the queue waits in socket buffers.
-                let inflight = (self.queues[idx].len() as u64).min(128);
-                let target = tier.mem_base_mib * MIB
-                    + inflight * tier.mem_per_inflight_kib * 1024
-                    + self.cache_bytes[idx] as u64;
-                self.apply_memory_target(idx, target, t_next);
+            if running && backlog > 1.0 && c.cpu.runtime_remaining_us() <= period_us * 0.01 {
+                c.cpu.mark_throttled();
             }
+            let stats = c.cpu.end_period();
+            if self.collect_stats && running {
+                let node = c.node().as_u64() as usize;
+                self.pending_stats[node].push(CpuStatsEntry {
+                    container: cid,
+                    stats,
+                });
+            }
+            self.usage_sec_us[idx] += stats.usage_us;
+            self.quota_sec_us[idx] += stats.quota_cores * period_us;
+        }
+    }
 
-            // 7. Policy step.
-            self.policy_step(t_next, &period_stats);
+    /// Window phase 6: memory demand.
+    fn round_memory(&mut self, now: SimTime) {
+        for idx in 0..self.containers.len() {
+            let tier = &self.cfg.app.tiers[self.tier_of[idx]];
+            let busy = self.consumed[idx] > 0.0 || !self.queues[idx].is_empty();
+            let cache_max = (tier.mem_cache_mib * MIB) as f64;
+            if busy {
+                self.cache_bytes[idx] += (cache_max - self.cache_bytes[idx]) * CACHE_FILL;
+            } else {
+                self.cache_bytes[idx] *= CACHE_DECAY;
+            }
+            // Only admitted (in-service) requests hold heap memory;
+            // the rest of the queue waits in socket buffers.
+            let inflight = (self.queues[idx].len() as u64).min(128);
+            let target = tier.mem_base_mib * MIB
+                + inflight * tier.mem_per_inflight_kib * 1024
+                + self.cache_bytes[idx] as u64;
+            self.apply_memory_target(idx, target, now);
+        }
+    }
 
-            // 8. Per-second sampling.
-            while next_second <= t_next {
-                second_index += 1;
-                let mut agg_cpu_limit = 0.0;
-                let mut agg_mem_limit = 0.0;
-                for idx in 0..n {
-                    let usage_cores = self.usage_sec_us[idx] / 1e6;
-                    let c = self
-                        .cluster
-                        .container(self.containers[idx])
-                        .expect("container");
-                    // Time-weighted limit over the second, like the
-                    // per-second aggregation of the paper's tooling.
-                    let quota = self.quota_sec_us[idx] / 1e6;
-                    let mem_limit = c.mem.limit_bytes();
-                    let mem_usage = c.mem.usage_bytes();
-                    agg_cpu_limit += quota;
-                    agg_mem_limit += mem_limit as f64 / MIB as f64;
-                    if next_second > warmup_end {
-                        self.metrics.slack.record(
-                            (quota - usage_cores).max(0.0),
-                            mem_limit.saturating_sub(mem_usage) as f64 / MIB as f64,
+    /// Flushes `node`'s batched telemetry: the node's Agent coalesces
+    /// its containers' period stats into ONE datagram (entries in
+    /// container order), so the UDP envelope is paid once per node per
+    /// report instead of once per container — the §VI-I batching
+    /// optimisation. The fault fabric sees one message per node: a drop
+    /// loses the whole node's batch, matching a lost datagram.
+    fn send_node_batch(&mut self, node: usize, now: SimTime) {
+        let mut killed: Vec<ContainerId> = Vec::new();
+        if let Mode::Escra {
+            controller,
+            agents,
+            accountant,
+            net,
+        } = &mut self.mode
+        {
+            if self.pending_stats[node].is_empty() {
+                return;
+            }
+            let entries = std::mem::take(&mut self.pending_stats[node]);
+            let node_id = NodeId::new(node as u64);
+            net.send(
+                now,
+                node_addr(node_id),
+                controller_addr(),
+                Envelope::ToCtl(ToController::CpuStatsBatch {
+                    node: node_id,
+                    entries,
+                }),
+                accountant,
+            );
+            pump_control_plane(
+                &mut self.cluster,
+                agents,
+                controller,
+                net,
+                accountant,
+                now,
+                &mut killed,
+            );
+        } else {
+            return;
+        }
+        for k in killed {
+            if let Some(idx) = self.containers.iter().position(|c| *c == k) {
+                self.fail_queue(idx, now);
+                self.cache_bytes[idx] = 0.0;
+            }
+        }
+    }
+
+    /// Periodic reclamation loop + grant-retry timers (Escra only).
+    fn controller_round(&mut self, now: SimTime) {
+        let mut killed: Vec<ContainerId> = Vec::new();
+        if let Mode::Escra {
+            controller,
+            agents,
+            accountant,
+            net,
+        } = &mut self.mode
+        {
+            let mut actions = controller.tick(now);
+            dispatch_actions(
+                &mut actions,
+                &mut self.cluster,
+                net,
+                accountant,
+                now,
+                &mut killed,
+            );
+            pump_control_plane(
+                &mut self.cluster,
+                agents,
+                controller,
+                net,
+                accountant,
+                now,
+                &mut killed,
+            );
+        } else {
+            return;
+        }
+        for k in killed {
+            if let Some(idx) = self.containers.iter().position(|c| *c == k) {
+                self.fail_queue(idx, now);
+                self.cache_bytes[idx] = 0.0;
+            }
+        }
+    }
+
+    /// Window phase 8: per-second slack/limit sampling and periodic
+    /// scaler updates, for every whole second up to `upto`.
+    fn sample_seconds(&mut self, upto: SimTime) {
+        let warmup_end = SimTime::ZERO + WARMUP;
+        let n = self.containers.len();
+        while self.next_second <= upto {
+            let next_second = self.next_second;
+            self.second_index += 1;
+            let mut agg_cpu_limit = 0.0;
+            let mut agg_mem_limit = 0.0;
+            for idx in 0..n {
+                let usage_cores = self.usage_sec_us[idx] / 1e6;
+                let c = self
+                    .cluster
+                    .container(self.containers[idx])
+                    .expect("container");
+                // Time-weighted limit over the second, like the
+                // per-second aggregation of the paper's tooling.
+                let quota = self.quota_sec_us[idx] / 1e6;
+                let mem_limit = c.mem.limit_bytes();
+                let mem_usage = c.mem.usage_bytes();
+                agg_cpu_limit += quota;
+                agg_mem_limit += mem_limit as f64 / MIB as f64;
+                if next_second > warmup_end {
+                    self.metrics.slack.record(
+                        (quota - usage_cores).max(0.0),
+                        mem_limit.saturating_sub(mem_usage) as f64 / MIB as f64,
+                    );
+                }
+                self.cpu_bucket_us[idx] += self.usage_sec_us[idx];
+                self.peak_mem[idx] = self.peak_mem[idx].max(mem_usage);
+                // Feed periodic scalers a 1 s sample (scalers start
+                // with the workload, not during the idle warm-up).
+                if next_second > warmup_end {
+                    if let Mode::Periodic { scaler, .. } = &mut self.mode {
+                        scaler.observe(
+                            self.containers[idx],
+                            UsageSample {
+                                cpu_cores: usage_cores,
+                                mem_bytes: mem_usage,
+                            },
                         );
                     }
-                    self.cpu_bucket_us[idx] += self.usage_sec_us[idx];
-                    self.peak_mem[idx] = self.peak_mem[idx].max(mem_usage);
-                    // Feed periodic scalers a 1 s sample (scalers start
-                    // with the workload, not during the idle warm-up).
-                    if next_second > warmup_end {
-                        if let Mode::Periodic { scaler, .. } = &mut self.mode {
-                            scaler.observe(
-                                self.containers[idx],
-                                UsageSample {
-                                    cpu_cores: usage_cores,
-                                    mem_bytes: mem_usage,
-                                },
-                            );
-                        }
-                    }
-                    self.usage_sec_us[idx] = 0.0;
-                    self.quota_sec_us[idx] = 0.0;
                 }
-                if next_second > warmup_end {
-                    self.metrics
-                        .record_limits(next_second, agg_cpu_limit, agg_mem_limit);
+                self.usage_sec_us[idx] = 0.0;
+                self.quota_sec_us[idx] = 0.0;
+            }
+            if next_second > warmup_end {
+                self.metrics
+                    .record_limits(next_second, agg_cpu_limit, agg_mem_limit);
+            }
+            // Close a 5-second profiling bucket: the peak recorded is
+            // the max of 5 s *means*, as coarse monitoring reports.
+            self.bucket_secs += 1;
+            if self.bucket_secs == 5 {
+                for idx in 0..n {
+                    let mean_cores = self.cpu_bucket_us[idx] / (5.0 * 1e6);
+                    self.peak_cpu[idx] = self.peak_cpu[idx].max(mean_cores);
+                    self.cpu_bucket_us[idx] = 0.0;
                 }
-                // Close a 5-second profiling bucket: the peak recorded is
-                // the max of 5 s *means*, as coarse monitoring reports.
-                self.bucket_secs += 1;
-                if self.bucket_secs == 5 {
-                    for idx in 0..n {
-                        let mean_cores = self.cpu_bucket_us[idx] / (5.0 * 1e6);
-                        self.peak_cpu[idx] = self.peak_cpu[idx].max(mean_cores);
-                        self.cpu_bucket_us[idx] = 0.0;
-                    }
-                    self.bucket_secs = 0;
-                }
-                // Periodic scaler recommendation on its update boundary.
-                if let Mode::Periodic {
-                    scaler,
-                    update_every_secs,
-                    restart_on_update,
-                } = &mut self.mode
+                self.bucket_secs = 0;
+            }
+            // Periodic scaler recommendation on its update boundary.
+            if let Mode::Periodic {
+                scaler,
+                update_every_secs,
+                restart_on_update,
+            } = &mut self.mode
+            {
+                if next_second > warmup_end && self.second_index.is_multiple_of(*update_every_secs)
                 {
-                    if next_second > warmup_end && second_index.is_multiple_of(*update_every_secs) {
-                        let updates = scaler.recommend();
-                        let restart = *restart_on_update;
-                        apply_limit_updates(&mut self.cluster, &updates, restart, next_second);
-                        if restart {
-                            for u in &updates {
-                                if u.requires_restart {
-                                    if let Some(idx) =
-                                        self.containers.iter().position(|c| *c == u.container)
-                                    {
-                                        self.fail_queue(idx, next_second);
-                                        self.cache_bytes[idx] = 0.0;
-                                    }
+                    let updates = scaler.recommend();
+                    let restart = *restart_on_update;
+                    apply_limit_updates(&mut self.cluster, &updates, restart, next_second);
+                    if restart {
+                        for u in &updates {
+                            if u.requires_restart {
+                                if let Some(idx) =
+                                    self.containers.iter().position(|c| *c == u.container)
+                                {
+                                    self.fail_queue(idx, next_second);
+                                    self.cache_bytes[idx] = 0.0;
                                 }
                             }
                         }
                     }
                 }
-                next_second += SimDuration::from_secs(1);
             }
-
-            t = t_next;
+            self.next_second += SimDuration::from_secs(1);
         }
+    }
 
-        // Finalize.
+    fn finalize(&mut self) -> MicroSimOutput {
+        let n = self.containers.len();
         self.metrics.duration = self.cfg.duration;
         self.metrics.oom_kills = self.cluster.total_oom_kills();
         let profiles = (0..n)
@@ -891,6 +1452,7 @@ impl<'a> Sim<'a> {
             controller_stats,
             fault_stats,
             profiles,
+            sim: self.stats,
         }
     }
 
@@ -1003,85 +1565,17 @@ impl<'a> Sim<'a> {
             }
         }
     }
+}
 
-    /// Telemetry fan-in / reclamation tick for Escra.
-    fn policy_step(&mut self, now: SimTime, period_stats: &[(bool, escra_cfs::CpuPeriodStats)]) {
-        if let Mode::Escra {
-            controller,
-            agents,
-            accountant,
-            net,
-        } = &mut self.mode
-        {
-            let mut killed: Vec<ContainerId> = Vec::new();
-            // Each node's Agent coalesces its containers' period stats
-            // into ONE datagram (entries in container order), so the UDP
-            // envelope is paid once per node per period instead of once
-            // per container — the §VI-I batching optimisation. The fault
-            // fabric sees one message per node: a drop now loses the
-            // whole node's period, matching a lost datagram.
-            let node_count = self.cluster.nodes().len();
-            let mut batches: Vec<Vec<CpuStatsEntry>> = vec![Vec::new(); node_count];
-            for (idx, (running, stats)) in period_stats.iter().enumerate() {
-                if !running {
-                    continue;
-                }
-                let cid = self.containers[idx];
-                let node = self.cluster.container(cid).expect("container").node();
-                batches[node.as_u64() as usize].push(CpuStatsEntry {
-                    container: cid,
-                    stats: *stats,
-                });
-            }
-            for (node_idx, entries) in batches.into_iter().enumerate() {
-                if entries.is_empty() {
-                    continue;
-                }
-                let node = NodeId::new(node_idx as u64);
-                net.send(
-                    now,
-                    node_addr(node),
-                    controller_addr(),
-                    Envelope::ToCtl(ToController::CpuStatsBatch { node, entries }),
-                    accountant,
-                );
-                pump_control_plane(
-                    &mut self.cluster,
-                    agents,
-                    controller,
-                    net,
-                    accountant,
-                    now,
-                    &mut killed,
-                );
-            }
-            // Periodic reclamation loop + grant-retry timers.
-            let mut actions = controller.tick(now);
-            dispatch_actions(
-                &mut actions,
-                &mut self.cluster,
-                net,
-                accountant,
-                now,
-                &mut killed,
-            );
-            pump_control_plane(
-                &mut self.cluster,
-                agents,
-                controller,
-                net,
-                accountant,
-                now,
-                &mut killed,
-            );
-            for k in killed {
-                if let Some(idx) = self.containers.iter().position(|c| *c == k) {
-                    self.fail_queue(idx, now);
-                    self.cache_bytes[idx] = 0.0;
-                }
-            }
-        }
+/// O(1) agent lookup: agents are created in node-id order, so the node
+/// id doubles as the slot index; falls back to a scan if the layout
+/// ever changes.
+pub(crate) fn agent_for(agents: &mut [Agent], node: NodeId) -> Option<&mut Agent> {
+    let idx = node.as_u64() as usize;
+    if agents.get(idx).is_some_and(|a| a.node() == node) {
+        return agents.get_mut(idx);
     }
+    agents.iter_mut().find(|a| a.node() == node)
 }
 
 /// Applies one controller action through the right agent, bypassing the
@@ -1102,7 +1596,7 @@ fn apply_action(
                     _ => LIMIT_UPDATE_WIRE_BYTES,
                 },
             );
-            match agents.iter_mut().find(|a| a.node() == *node) {
+            match agent_for(agents, *node) {
                 Some(agent) => match agent.apply(cluster, *cmd) {
                     AgentReport::Reclaimed(entries) => Some(entries),
                     AgentReport::Applied | AgentReport::Stale => None,
@@ -1183,10 +1677,7 @@ fn pump_control_plane(
                     dispatch_actions(&mut actions, cluster, net, accountant, now, killed);
                 }
                 Envelope::ToNode(node, cmd) => {
-                    let report = agents
-                        .iter_mut()
-                        .find(|a| a.node() == node)
-                        .map(|a| a.apply(cluster, cmd));
+                    let report = agent_for(agents, node).map(|a| a.apply(cluster, cmd));
                     match report {
                         Some(AgentReport::Applied) => {
                             if let ToAgent::SetMemLimit { container, seq, .. } = cmd {
@@ -1244,11 +1735,29 @@ fn apply_limit_updates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use escra_workloads::teastore;
+    use escra_core::EscraConfig;
+    use escra_workloads::{hipster_shop, media_microservice, teastore, train_ticket};
 
     fn quick_cfg(policy: Policy) -> MicroSimConfig {
         MicroSimConfig::new(teastore(), WorkloadKind::Fixed { rps: 150.0 }, policy, 42)
             .with_duration(SimDuration::from_secs(12))
+    }
+
+    /// Everything observable about a run except the engine counters.
+    fn digest(out: &MicroSimOutput) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            out.metrics, out.network, out.controller_stats, out.fault_stats, out.profiles
+        )
+    }
+
+    fn run_pair(cfg: &MicroSimConfig) -> (MicroSimOutput, MicroSimOutput) {
+        let serial = run(&cfg.clone().with_engine(SimEngine::SerialTick));
+        let heap = run(&cfg
+            .clone()
+            .with_engine(SimEngine::EventHeap)
+            .with_physics(SimPhysics::TickCoupled));
+        (serial, heap)
     }
 
     #[test]
@@ -1266,6 +1775,7 @@ mod tests {
         assert_eq!(m.oom_kills, 0, "Escra must absorb all OOMs");
         assert!(out.network.expect("escra network").total_bytes() > 0);
         assert!(out.controller_stats.expect("stats").cpu_stats_ingested > 0);
+        assert!(out.sim.rounds > 0 && out.sim.heap_events > out.sim.rounds);
     }
 
     #[test]
@@ -1303,12 +1813,8 @@ mod tests {
     fn runs_are_deterministic() {
         let a = run(&quick_cfg(Policy::escra_default()));
         let b = run(&quick_cfg(Policy::escra_default()));
-        assert_eq!(a.metrics.latency.successes(), b.metrics.latency.successes());
-        assert_eq!(a.metrics.latency.p(99.0), b.metrics.latency.p(99.0));
-        assert_eq!(
-            a.network.expect("net").total_bytes(),
-            b.network.expect("net").total_bytes()
-        );
+        assert_eq!(digest(&a), digest(&b));
+        assert_eq!(a.sim, b.sim);
     }
 
     #[test]
@@ -1319,5 +1825,213 @@ mod tests {
         // The webui tier (first containers) must show real usage.
         assert!(profiles[0].peak_cpu_cores > 0.05);
         assert!(profiles[0].peak_mem_bytes > 0);
+    }
+
+    #[test]
+    fn event_heap_compat_is_bit_identical_to_serial_tick() {
+        for policy in [Policy::escra_default(), Policy::static_1_5x()] {
+            let (serial, heap) = run_pair(&quick_cfg(policy.clone()));
+            assert_eq!(
+                digest(&serial),
+                digest(&heap),
+                "engine divergence under {}",
+                policy.name()
+            );
+            assert_eq!(
+                serial.metrics.latency.failures(),
+                heap.metrics.latency.failures()
+            );
+            assert_eq!(serial.sim.rounds, heap.sim.rounds);
+            assert_eq!(serial.sim.bg_jobs, heap.sim.bg_jobs);
+        }
+    }
+
+    #[test]
+    fn event_heap_identity_across_apps() {
+        // Smoke subset of the four paper apps: the gate for switching
+        // the experiment bins onto the event engine.
+        for app in [
+            teastore(),
+            hipster_shop(),
+            media_microservice(),
+            train_ticket(),
+        ] {
+            let name = app.name.clone();
+            let cfg = MicroSimConfig::new(
+                app,
+                WorkloadKind::Fixed { rps: 120.0 },
+                Policy::escra_default(),
+                7,
+            )
+            .with_duration(SimDuration::from_secs(6));
+            let (serial, heap) = run_pair(&cfg);
+            assert_eq!(digest(&serial), digest(&heap), "divergence on {name}");
+        }
+    }
+
+    /// A single 4-core node far below the workload's demand: requests
+    /// queue past their 2 s timeout and failures are plentiful.
+    fn overloaded_cfg() -> MicroSimConfig {
+        let mut cfg = MicroSimConfig::new(
+            teastore(),
+            WorkloadKind::Fixed { rps: 400.0 },
+            Policy::escra_default(),
+            11,
+        )
+        .with_duration(SimDuration::from_secs(10));
+        cfg.worker_nodes = 1;
+        cfg.node_cores = 4;
+        cfg.request_timeout = SimDuration::from_secs(2);
+        cfg
+    }
+
+    #[test]
+    fn compat_failure_counts_match_serial_reference() {
+        // An overloaded run with a short timeout so failures are
+        // plentiful; the event engine must reproduce the serial tick's
+        // failure count exactly under tick-coupled physics.
+        let cfg = overloaded_cfg();
+        let (serial, heap) = run_pair(&cfg);
+        assert!(
+            serial.metrics.latency.failures() > 0,
+            "scenario not overloaded"
+        );
+        assert_eq!(
+            serial.metrics.latency.failures(),
+            heap.metrics.latency.failures()
+        );
+    }
+
+    fn escra_with_period(ms: u64) -> Policy {
+        let mut ecfg = EscraConfig::default();
+        ecfg.report_period = SimDuration::from_millis(ms);
+        Policy::Escra(ecfg)
+    }
+
+    #[test]
+    fn bg_rate_is_invariant_across_report_periods() {
+        // The tick-coupled Bernoulli draw distorts the background rate
+        // with the report period; the exact exponential chains make it
+        // identical (same per-container streams, period-independent).
+        let mut counts = Vec::new();
+        for ms in [50u64, 100, 200] {
+            let cfg = MicroSimConfig::new(
+                teastore(),
+                WorkloadKind::Fixed { rps: 100.0 },
+                escra_with_period(ms),
+                5,
+            )
+            .with_duration(SimDuration::from_secs(10));
+            let out = run(&cfg);
+            assert!(out.sim.bg_jobs > 0, "no background work at {ms}ms");
+            counts.push(out.sim.bg_jobs);
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "bg counts vary with report period: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn tick_coupled_bg_rate_saturates_with_period() {
+        // Documents the bug the exact physics fixes: the legacy
+        // Bernoulli-per-tick draw clamps once `period >= bg_interval`
+        // (the unclamped probability exceeds 1), so coarse report
+        // periods inject background work at a distorted, period-coupled
+        // rate — one job per container per tick, however long the tick.
+        let mut rates = Vec::new();
+        for ms in [3_000u64, 6_000] {
+            let cfg = MicroSimConfig::new(
+                teastore(),
+                WorkloadKind::Fixed { rps: 100.0 },
+                escra_with_period(ms),
+                5,
+            )
+            .with_duration(SimDuration::from_secs(10))
+            .with_physics(SimPhysics::TickCoupled);
+            let out = run(&cfg);
+            rates.push(out.sim.bg_jobs as f64 / out.sim.rounds as f64);
+        }
+        assert!(
+            (rates[0] - rates[1]).abs() < 1.5,
+            "saturated: ~1 job/container/tick regardless of period ({rates:?})"
+        );
+        // Per unit *time* the rates differ by ~2x — the distortion.
+        assert!(
+            rates[0] / 3.0 > 1.5 * (rates[1] / 6.0),
+            "expected period-coupled time-rate drift ({rates:?})"
+        );
+    }
+
+    #[test]
+    fn exact_timeouts_bound_success_latency() {
+        // No recorded success may exceed the request timeout: the
+        // Timeout event fires before any Round that could complete the
+        // request later.
+        let cfg = overloaded_cfg();
+        let out = run(&cfg);
+        assert!(out.sim.timeout_failures > 0, "scenario not overloaded");
+        // Kill-induced queue failures may add to the total.
+        assert!(out.sim.timeout_failures <= out.metrics.latency.failures());
+        let max_ms = out.metrics.latency.p(100.0);
+        assert!(
+            max_ms <= cfg.request_timeout.as_secs_f64() * 1e3 + 1e-6,
+            "success latency {max_ms}ms exceeds the {:?} timeout",
+            cfg.request_timeout
+        );
+    }
+
+    #[test]
+    fn report_plan_runs_are_deterministic_and_complete() {
+        let plan = ReportPlan {
+            period_multipliers: vec![1, 2, 3],
+            jitter_frac: 0.5,
+        };
+        let cfg = quick_cfg(Policy::escra_default()).with_report_plan(plan);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(digest(&a), digest(&b));
+        assert!(a.metrics.latency.successes() > 1_400);
+        // Slower reporters batch multiple windows per datagram: fewer
+        // messages than the aligned schedule, but none lost.
+        let aligned = run(&quick_cfg(Policy::escra_default()));
+        assert!(
+            a.network.as_ref().unwrap().total_bytes()
+                < aligned.network.as_ref().unwrap().total_bytes(),
+            "jittered/slow reports should shrink control-plane bytes"
+        );
+    }
+
+    #[test]
+    fn randomized_event_heap_runs_are_deterministic() {
+        // Property: for randomly drawn configurations, two event-heap
+        // runs are identical. Parameters are drawn from the vendored
+        // proptest shim's deterministic RNG.
+        use proptest::test_runner::TestRng;
+        let mut rng = TestRng::from_name("randomized_event_heap_runs_are_deterministic");
+        for case in 0..4 {
+            let period_ms = [50u64, 100, 150][rng.next_u64() as usize % 3];
+            let physics = if rng.next_u64() % 2 == 0 {
+                SimPhysics::Exact
+            } else {
+                SimPhysics::TickCoupled
+            };
+            let seed = rng.next_u64();
+            let cfg = MicroSimConfig::new(
+                teastore(),
+                WorkloadKind::Fixed { rps: 120.0 },
+                escra_with_period(period_ms),
+                seed,
+            )
+            .with_duration(SimDuration::from_secs(4))
+            .with_physics(physics);
+            let a = run(&cfg);
+            let b = run(&cfg);
+            assert_eq!(
+                digest(&a),
+                digest(&b),
+                "case {case}: period {period_ms}ms physics {physics:?} seed {seed}"
+            );
+        }
     }
 }

@@ -5,13 +5,22 @@
 //! timeout. Vanilla OpenWhisk gives every pod a static 1 vCPU / 256 MiB;
 //! with Escra enabled the whole namespace is treated as one Distributed
 //! Container and pods are right-sized continuously.
+//!
+//! The run is driven by `Round` events on the discrete-event heap
+//! ([`escra_simcore::events::EventQueue`]). While the invoker is
+//! completely idle — no pods, no pending activations — the driver
+//! fast-forwards across the gap to the next arrival instead of
+//! executing empty windows (see [`ServerlessConfig::fast_forward_idle`]),
+//! so the long inter-iteration gaps of ImageProcess cost almost nothing.
 
+use crate::microsim::agent_for;
 use escra_cfs::{node::arbitrate, ChargeOutcome, MIB};
 use escra_cluster::{AppId, Cluster, ContainerId, ContainerSpec, ContainerState, NodeSpec};
 use escra_core::telemetry::{ToController, CPU_STATS_WIRE_BYTES, OOM_EVENT_WIRE_BYTES};
 use escra_core::{Action, Agent, AgentReport, Controller, EscraConfig};
 use escra_metrics::RunMetrics;
 use escra_net::BandwidthAccountant;
+use escra_simcore::events::EventQueue;
 use escra_simcore::rng::SimRng;
 use escra_simcore::time::{SimDuration, SimTime};
 use escra_workloads::serverless::{
@@ -51,6 +60,11 @@ pub struct ServerlessConfig {
     pub worker_nodes: usize,
     /// Cores per worker (paper: 2× 8-core Xeon E5-2650v2 = 16).
     pub node_cores: u32,
+    /// Fast-forward across fully idle gaps (default). Skipped windows
+    /// replay only their observable residue — the Escra controller tick
+    /// and the per-second zero-limit samples — so the output is
+    /// bit-identical with the flag off.
+    pub fast_forward_idle: bool,
 }
 
 impl ServerlessConfig {
@@ -71,6 +85,7 @@ impl ServerlessConfig {
             seed,
             worker_nodes: 3,
             node_cores: 16,
+            fast_forward_idle: true,
         }
     }
 
@@ -84,6 +99,7 @@ impl ServerlessConfig {
             seed,
             worker_nodes: 4,
             node_cores: 16,
+            fast_forward_idle: true,
         }
     }
 }
@@ -100,6 +116,10 @@ pub struct ServerlessOutput {
     pub peak_pods: usize,
     /// Control-plane bytes (Escra runs only).
     pub network: Option<BandwidthAccountant>,
+    /// Windows executed in full.
+    pub rounds_executed: u64,
+    /// Idle windows fast-forwarded across.
+    pub rounds_fast_forwarded: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +134,14 @@ enum PodState {
 struct Pod {
     cid: ContainerId,
     state: PodState,
+}
+
+/// The serverless heap event: a window close. All pod activity is
+/// resolved inside windows, so a single `Round` chain (plus the idle
+/// fast-forward) is the whole taxonomy here.
+#[derive(Debug, Clone, Copy)]
+enum SlsEv {
+    Round,
 }
 
 /// Maximum cores one action can exploit (slightly above 1 vCPU: some
@@ -204,11 +232,22 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
     }
 
     let mut next_second = SimTime::from_secs(1);
-    let mut usage_sec_us: Vec<(ContainerId, f64)> = Vec::new();
     let mut assign_cursor = 0usize;
-    let mut t = SimTime::ZERO;
-    while t < end {
-        let t_next = t + period;
+    let mut rounds_executed = 0u64;
+    let mut rounds_fast_forwarded = 0u64;
+    // Per-node Exec membership, rebuilt in one pass over the pods per
+    // window (the old loop rescanned every pod once per node).
+    let mut node_exec: Vec<Vec<usize>> = vec![Vec::new(); cluster.nodes().len()];
+    // Final simulated time: the last window boundary reached (or the
+    // window start when a finished job breaks the run mid-grid).
+    let mut t_final = SimTime::ZERO;
+
+    let mut q: EventQueue<SlsEv> = EventQueue::new();
+    q.push(SimTime::ZERO + period, SlsEv::Round);
+    while let Some((t_next, SlsEv::Round)) = q.pop() {
+        // The window [t, t_next) resolves now, at its close.
+        let t = t_next - period;
+        rounds_executed += 1;
         cluster.tick(t);
 
         // Promote started pods, claim work.
@@ -280,20 +319,20 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
         }
         peak_pods = peak_pods.max(pods.len());
 
-        // CPU: arbitrate execution among busy pods per node.
-        for node in 0..cluster.nodes().len() {
-            let mut members = Vec::new();
-            for (pi, pod) in pods.iter().enumerate() {
-                if let PodState::Exec { .. } = pod.state {
-                    let c = cluster.container(pod.cid).expect("pod container");
-                    if c.node().as_u64() as usize == node && c.is_running() {
-                        members.push(pi);
-                    }
+        // CPU: arbitrate execution among busy pods per node. One pass
+        // groups running Exec pods by node (in pod order).
+        for (pi, pod) in pods.iter().enumerate() {
+            if let PodState::Exec { .. } = pod.state {
+                let c = cluster.container(pod.cid).expect("pod container");
+                if c.is_running() {
+                    node_exec[c.node().as_u64() as usize].push(pi);
                 }
             }
+        }
+        for node in 0..node_exec.len() {
             let capacity = cfg.node_cores as f64 * period_us;
-            let mut want = Vec::with_capacity(members.len());
-            for &pi in &members {
+            let mut want = Vec::with_capacity(node_exec[node].len());
+            for &pi in &node_exec[node] {
                 let c = cluster.container(pods[pi].cid).expect("pod container");
                 let remaining = match pods[pi].state {
                     PodState::Exec { remaining_us, .. } => remaining_us,
@@ -306,7 +345,7 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                 );
             }
             let grants = arbitrate(capacity, &want);
-            for (k, &pi) in members.iter().enumerate() {
+            for (k, &pi) in node_exec[node].iter().enumerate() {
                 let granted = grants[k];
                 let cid = pods[pi].cid;
                 if let PodState::Exec {
@@ -341,6 +380,9 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                 }
             }
         }
+        for members in node_exec.iter_mut() {
+            members.clear();
+        }
 
         // IO completions.
         for pod in pods.iter_mut() {
@@ -358,9 +400,6 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                     pod.state = PodState::Idle { since: until };
                 }
             }
-        }
-        if job.as_ref().is_some_and(|j| j.is_done()) && t > SimTime::from_secs(2) {
-            // Let the loop run a couple more seconds to settle metrics.
         }
 
         // Memory targets + OOM handling.
@@ -429,7 +468,6 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
         }
 
         // Telemetry + reclamation (Escra).
-        usage_sec_us.clear();
         for pod in pods.iter() {
             let c = cluster.container_mut(pod.cid).expect("pod");
             let stats = c.cpu.end_period();
@@ -492,18 +530,48 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
         }
 
         if job.as_ref().is_some_and(|j| j.is_done()) {
+            t_final = t;
             break;
         }
-        t = t_next;
+        t_final = t_next;
+
+        // Schedule the next window — fast-forwarding across fully idle
+        // gaps. A skipped window's only observable residue is the
+        // controller tick (its reclamation sweep keeps internal timing
+        // state even with no containers) and the per-second zero-limit
+        // samples; both are replayed so a fast-forwarded run stays
+        // bit-identical to one that executes every empty window.
+        let mut next_round = t_next + period;
+        if cfg.fast_forward_idle && pods.is_empty() && pending.is_empty() {
+            let horizon = schedule.front().copied().unwrap_or(end);
+            while next_round <= horizon && next_round - period < end {
+                if let Some(ctl) = controller.as_mut() {
+                    let actions = ctl.tick(next_round);
+                    drive_actions(&mut cluster, &mut agents, ctl, actions, next_round);
+                }
+                while next_second <= next_round {
+                    metrics.record_limits(next_second, 0.0, 0.0);
+                    next_second += SimDuration::from_secs(1);
+                }
+                rounds_fast_forwarded += 1;
+                t_final = next_round;
+                next_round += period;
+            }
+        }
+        if next_round - period < end {
+            q.push(next_round, SlsEv::Round);
+        }
     }
 
-    metrics.duration = t.duration_since(SimTime::ZERO);
+    metrics.duration = t_final.duration_since(SimTime::ZERO);
     metrics.oom_kills = cluster.total_oom_kills();
     ServerlessOutput {
         metrics,
         job_latency,
         peak_pods,
         network: controller.map(|_| accountant),
+        rounds_executed,
+        rounds_fast_forwarded,
     }
 }
 
@@ -565,7 +633,7 @@ fn drive_actions(
                     killed = true;
                 }
                 Action::Agent { node, cmd } => {
-                    if let Some(agent) = agents.iter_mut().find(|a| a.node() == *node) {
+                    if let Some(agent) = agent_for(agents, *node) {
                         if let AgentReport::Reclaimed(mut e) = agent.apply(cluster, *cmd) {
                             entries.append(&mut e);
                         }
@@ -641,5 +709,42 @@ mod tests {
         let secs = latency.as_secs_f64();
         assert!(secs > 150.0 && secs < 700.0, "job latency {secs}s");
         assert!(out.peak_pods >= GRID_SEARCH_WORKERS);
+    }
+
+    /// Everything observable about a run except the driver counters.
+    fn digest(out: &ServerlessOutput) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            out.metrics, out.job_latency, out.peak_pods, out.network
+        )
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_and_skips_idle_windows() {
+        for escra in [false, true] {
+            let mut slow = ServerlessConfig {
+                app: ServerlessApp::ImageProcess { iterations: 1 },
+                ..ServerlessConfig::image_process(escra.then(EscraConfig::default), 7)
+            };
+            slow.fast_forward_idle = false;
+            let mut fast = slow.clone();
+            fast.fast_forward_idle = true;
+            let a = run_serverless(&slow, &image_process());
+            let b = run_serverless(&fast, &image_process());
+            assert_eq!(
+                digest(&a),
+                digest(&b),
+                "fast-forward divergence (escra={escra})"
+            );
+            assert_eq!(a.rounds_fast_forwarded, 0);
+            assert!(
+                b.rounds_fast_forwarded > 0,
+                "the post-iteration idle tail should fast-forward"
+            );
+            assert_eq!(
+                a.rounds_executed,
+                b.rounds_executed + b.rounds_fast_forwarded
+            );
+        }
     }
 }

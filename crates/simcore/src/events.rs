@@ -2,8 +2,13 @@
 //!
 //! [`EventQueue`] is a time-ordered priority queue with deterministic
 //! FIFO tie-breaking: events scheduled for the same instant pop in the
-//! order they were pushed. The payload type is generic so each layer of
-//! the simulator can define its own event enum.
+//! order they were pushed. For simulations that need an event order
+//! *independent of push order*, [`EventQueue::push_keyed`] attaches a
+//! canonical `u64` key that breaks same-time ties before the FIFO
+//! sequence number — the pop order then depends only on `(time, key)`
+//! for distinct keys, no matter how the pushes were interleaved. The
+//! payload type is generic so each layer of the simulator can define
+//! its own event enum.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -12,13 +17,14 @@ use std::collections::BinaryHeap;
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
+    key: u64,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -30,10 +36,11 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first, then
-        // lowest-sequence-first for FIFO ties.
+        // lowest-key-first, then lowest-sequence-first for FIFO ties.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -72,11 +79,36 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` at `time`.
+    /// Schedules `event` at `time` with key 0 (pure FIFO among ties).
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_keyed(time, 0, event);
+    }
+
+    /// Schedules `event` at `time` with a canonical tie-breaking `key`.
+    ///
+    /// Among events due at the same instant, lower keys pop first; equal
+    /// keys fall back to push-order FIFO. Schedulers that assign each
+    /// event a unique `(time, key)` therefore observe a pop order that is
+    /// a pure function of the schedule, independent of push interleaving.
+    ///
+    /// ```
+    /// use escra_simcore::{events::EventQueue, time::SimTime};
+    /// let t = SimTime::from_millis(4);
+    /// let mut q = EventQueue::new();
+    /// q.push_keyed(t, 2, "second");
+    /// q.push_keyed(t, 1, "first");
+    /// assert_eq!(q.pop(), Some((t, "first")));
+    /// assert_eq!(q.pop(), Some((t, "second")));
+    /// ```
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            key,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
@@ -202,6 +234,59 @@ mod tests {
         let mut c = Clock::new();
         c.advance_to(SimTime::from_millis(10));
         c.advance_to(SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn keys_break_ties_before_fifo() {
+        let t = SimTime::from_millis(7);
+        let mut q = EventQueue::new();
+        q.push_keyed(t, 3, "c");
+        q.push_keyed(t, 1, "a");
+        q.push_keyed(t, 2, "b");
+        q.push_keyed(SimTime::from_millis(6), 9, "early");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["early", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn keyed_order_is_push_order_independent() {
+        // Any permutation of pushes with distinct (time, key) pairs pops
+        // in exactly the same order.
+        let mut items: Vec<(u64, u64)> = Vec::new();
+        for ms in 0..5u64 {
+            for key in 0..4u64 {
+                items.push((ms, key));
+            }
+        }
+        let mut rng = crate::rng::SimRng::new(77);
+        let mut reference: Option<Vec<(u64, u64)>> = None;
+        for _ in 0..10 {
+            // Fisher–Yates shuffle of the push order.
+            for i in (1..items.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                items.swap(i, j);
+            }
+            let mut q = EventQueue::new();
+            for &(ms, key) in &items {
+                q.push_keyed(SimTime::from_millis(ms), key, (ms, key));
+            }
+            let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            match &reference {
+                None => reference = Some(order),
+                Some(r) => assert_eq!(&order, r),
+            }
+        }
+    }
+
+    #[test]
+    fn plain_push_keeps_fifo_within_key_zero() {
+        let t = SimTime::from_millis(1);
+        let mut q = EventQueue::new();
+        q.push(t, "first");
+        q.push(t, "second");
+        q.push_keyed(t, 0, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
     }
 
     #[test]

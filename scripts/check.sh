@@ -20,6 +20,18 @@ echo "== bench smoke (controller ingest vs committed baseline) =="
 # scaling factor below 2.5x) vs BENCH_controller.json.
 cargo run -q -p escra-bench --release --bin overhead_controller -- --smoke --check
 
+echo "== sim engine identity (serial tick vs event heap, byte-for-byte) =="
+# The frozen SerialTick reference loop and the event-heap driver (with
+# tick-coupled physics) must produce identical outputs on committed
+# paper scenarios — the gate behind running the experiment bins on the
+# event engine.
+cargo run -q -p escra-bench --release --bin sim_scale -- --identity
+
+echo "== sim scale smoke (10k nodes, 1M+ container-periods vs committed baseline) =="
+# A 10k-node / 12k-container event-heap run; fails if throughput drops
+# below half the committed BENCH_sim.json rate.
+cargo run -q -p escra-bench --release --bin sim_scale -- --smoke --check
+
 echo "== parallel sweep identity (parallel vs serial, byte-for-byte) =="
 # The experiment bins run on the parallel sweep runner; --serial re-runs
 # the same grid serially and fails unless the JSON dumps are identical.
