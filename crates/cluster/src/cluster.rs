@@ -69,7 +69,7 @@ pub enum ContainerEvent {
 ///     .expect("deploy");
 /// assert_eq!(cluster.container(id).expect("exists").node(), NodeId::new(0));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Node>,
     containers: BTreeMap<ContainerId, Container>,

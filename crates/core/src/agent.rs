@@ -7,6 +7,7 @@
 
 use crate::telemetry::ToAgent;
 use escra_cluster::{Cluster, ContainerId, NodeId};
+use escra_metrics::fingerprint::StateHash;
 use escra_metrics::trace::{NoopSink, TraceEventKind, TraceSink};
 use escra_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -84,6 +85,48 @@ impl Agent {
     /// Whether `seq` is not newer than the last applied entry in `map`.
     fn is_stale(map: &BTreeMap<ContainerId, u64>, container: ContainerId, seq: u64) -> bool {
         map.get(&container).is_some_and(|&last| seq <= last)
+    }
+
+    /// Drops all per-container state (the high-water seq entries) for a
+    /// torn-down container.
+    ///
+    /// Must be called when a container is terminated: a later container
+    /// reusing the same `ContainerId` — e.g. registered by a different
+    /// controller shard whose `next_seq` space starts over — would
+    /// otherwise inherit the old high-water mark and have every command
+    /// silently stale-discarded until the new seq space catches up. It
+    /// also keeps the maps from growing without bound under serverless
+    /// churn.
+    pub fn forget_container(&mut self, container: ContainerId) {
+        self.cpu_seq.remove(&container);
+        self.mem_seq.remove(&container);
+    }
+
+    /// Number of containers with a recorded high-water seq (either
+    /// resource); teardown bookkeeping should drive this back down.
+    pub fn tracked_containers(&self) -> usize {
+        let mut ids: Vec<ContainerId> = self.cpu_seq.keys().copied().collect();
+        ids.extend(self.mem_seq.keys().copied());
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Feeds the agent's behaviourally relevant state (node id and both
+    /// seq maps; the audit counters never influence decisions) into a
+    /// canonical state hash, for the model checker's visited set.
+    pub fn fingerprint_into(&self, h: &mut StateHash) {
+        h.write_u64(self.node.as_u64());
+        h.write_u64(self.cpu_seq.len() as u64);
+        for (c, s) in &self.cpu_seq {
+            h.write_u64(c.as_u64());
+            h.write_u64(*s);
+        }
+        h.write_u64(self.mem_seq.len() as u64);
+        for (c, s) in &self.mem_seq {
+            h.write_u64(c.as_u64());
+            h.write_u64(*s);
+        }
     }
 
     /// Applies a Controller command to this node's containers.
@@ -400,6 +443,79 @@ mod tests {
             seq: 2,
         };
         assert_eq!(agent.apply(&mut cl, cmd), AgentReport::Applied);
+    }
+
+    /// Regression: a reused `ContainerId` must not inherit the previous
+    /// tenant's high-water seq. Before `forget_container` existed, the
+    /// agent kept the old entries forever, so a fresh controller shard
+    /// starting its seq space at 1 had every command stale-discarded
+    /// until `next_seq` overtook the stale mark.
+    #[test]
+    fn container_id_reuse_starts_a_fresh_seq_space() {
+        let (mut cl, a, _) = cluster_with_two();
+        let mut agent = Agent::new(NodeId::new(0));
+        // First tenant of id `a` ends its life at a high seq.
+        let cmd = |q: f64, seq: u64| ToAgent::SetCpuQuota {
+            container: a,
+            quota_cores: q,
+            seq,
+        };
+        assert_eq!(agent.apply(&mut cl, cmd(4.0, 100)), AgentReport::Applied);
+        assert_eq!(
+            agent.apply(
+                &mut cl,
+                ToAgent::SetMemLimit {
+                    container: a,
+                    limit_bytes: 300 * MIB,
+                    seq: 101,
+                }
+            ),
+            AgentReport::Applied
+        );
+        assert_eq!(agent.tracked_containers(), 1);
+
+        // Teardown: the driver terminates the container and tells the
+        // agent to drop its per-container state.
+        let _ = cl.terminate(a, SimTime::from_secs(5));
+        agent.forget_container(a);
+        assert_eq!(agent.tracked_containers(), 0);
+
+        // A new tenant reuses id `a` under a controller whose seq space
+        // starts over (e.g. a different shard). Without the forget, seq 1
+        // and 2 would be "stale" against the dead tenant's 100/101.
+        let b = cl
+            .deploy(
+                ContainerSpec::new("a2", AppId::new(1)).with_base_mem(64 * MIB),
+                SimTime::from_secs(6),
+            )
+            .unwrap();
+        cl.tick(SimTime::from_secs(9));
+        let reuse = ContainerId::new(a.as_u64()); // same raw id semantics
+        assert_eq!(
+            agent.apply(
+                &mut cl,
+                ToAgent::SetCpuQuota {
+                    container: reuse,
+                    quota_cores: 2.0,
+                    seq: 1,
+                }
+            ),
+            AgentReport::Applied,
+            "fresh tenant's first command must not be stale-discarded"
+        );
+        assert_eq!(
+            agent.apply(
+                &mut cl,
+                ToAgent::SetMemLimit {
+                    container: reuse,
+                    limit_bytes: 128 * MIB,
+                    seq: 2,
+                }
+            ),
+            AgentReport::Applied
+        );
+        assert_eq!(agent.stale_discarded(), 0);
+        let _ = b;
     }
 
     #[test]

@@ -18,7 +18,7 @@ const NO_SLOT: u32 = u32::MAX;
 
 /// Per-container state tracked by the allocator, stored in a dense slab
 /// slot (see [`ResourceAllocator`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Track {
     app: AppId,
     /// Index of the owning app in `ResourceAllocator::app_entries`, so
@@ -35,7 +35,7 @@ struct Track {
 }
 
 /// An application's pool plus the slab slots of its live containers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AppEntry {
     pool: DistributedContainer,
     members: Vec<u32>,
@@ -121,7 +121,7 @@ impl std::error::Error for AllocatorError {}
 ///     .expect("register");
 /// assert_eq!(alloc.quota_of(ContainerId::new(0)), Some(2.0));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ResourceAllocator {
     cfg: EscraConfig,
     /// Dense app storage; hot-path access goes through `Track::app_slot`,
@@ -315,6 +315,49 @@ impl ResourceAllocator {
     /// Containers currently registered.
     pub fn container_count(&self) -> usize {
         self.slab.len() - self.free.len()
+    }
+
+    /// Iterates the registered container ids in ascending raw-id order.
+    pub fn container_ids(&self) -> impl Iterator<Item = ContainerId> + '_ {
+        self.index
+            .iter()
+            .enumerate()
+            .filter(|(_, &slot)| slot != NO_SLOT)
+            .map(|(raw, _)| ContainerId::new(raw as u64))
+    }
+
+    /// Feeds the allocator's behaviourally relevant state into a
+    /// canonical state hash: per-app pools (limits + allocated sums) and
+    /// per-container tracks (quota, memory limit, node, and the exact
+    /// CPU decision-window contents), all in id order. Slab layout
+    /// internals (slot numbers, free-list order) are deliberately
+    /// excluded: states that differ only in how the slab was recycled
+    /// behave identically.
+    pub fn fingerprint_into(&self, h: &mut escra_metrics::fingerprint::StateHash) {
+        h.write_u64(self.app_index.len() as u64);
+        for (app, &slot) in &self.app_index {
+            let pool = &self.app_entries[slot as usize].pool;
+            h.write_u64(app.as_u64());
+            h.write_f64(pool.cpu_limit_cores());
+            h.write_u64(pool.mem_limit_bytes());
+            h.write_f64(pool.allocated_cpu_cores());
+            h.write_u64(pool.allocated_mem_bytes());
+        }
+        h.write_u64(self.container_count() as u64);
+        for id in self.container_ids() {
+            let t = self.track(id).expect("live id has a track");
+            h.write_u64(id.as_u64());
+            h.write_u64(t.app.as_u64());
+            h.write_u64(t.node.as_u64());
+            h.write_f64(t.quota_cores);
+            h.write_u64(t.mem_limit_bytes);
+            for win in [&t.throttle_win, &t.unused_win] {
+                h.write_u64(win.len() as u64);
+                for s in win.samples() {
+                    h.write_f64(s);
+                }
+            }
+        }
     }
 
     /// The windowed inputs behind a container's most recent CPU

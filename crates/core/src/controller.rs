@@ -18,6 +18,7 @@ use crate::config::EscraConfig;
 use crate::telemetry::{CpuStatsEntry, ToAgent, ToController};
 use escra_cfs::CpuPeriodStats;
 use escra_cluster::{AppId, ContainerId, NodeId};
+use escra_metrics::fingerprint::StateHash;
 use escra_metrics::trace::{NoopSink, TraceEventKind, TraceSink};
 use escra_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,10 @@ pub struct ControllerStats {
     /// duplicate id). Silently swallowing these hid misconfigured
     /// deployments; now they are counted and logged in debug builds.
     pub register_errors: u64,
+    /// `LimitAck`s whose seq did not match the container's pending
+    /// grant (straggler acks of superseded sends, or acks of unrelated
+    /// commands in the shared seq space). They never retire a grant.
+    pub ack_mismatches: u64,
 }
 
 impl ControllerStats {
@@ -100,6 +105,7 @@ impl ControllerStats {
             grant_reconciles,
             grants_abandoned,
             register_errors,
+            ack_mismatches,
         } = *other;
         self.cpu_stats_ingested += cpu_stats_ingested;
         self.quota_updates += quota_updates;
@@ -114,6 +120,7 @@ impl ControllerStats {
         self.grant_reconciles += grant_reconciles;
         self.grants_abandoned += grants_abandoned;
         self.register_errors += register_errors;
+        self.ack_mismatches += ack_mismatches;
     }
 }
 
@@ -136,7 +143,11 @@ struct PendingGrant {
 /// guarded by that constant, and the compiled hot path is identical to
 /// the uninstrumented one (held by the `overhead_controller --check`
 /// regression gate).
-#[derive(Debug)]
+///
+/// `Clone` (for sinks that are themselves `Clone`, like the default
+/// [`NoopSink`]) exists for the model checker, which forks the whole
+/// control-plane state at every branching point.
+#[derive(Debug, Clone)]
 pub struct Controller<S: TraceSink = NoopSink> {
     allocator: ResourceAllocator,
     nodes: BTreeSet<NodeId>,
@@ -233,6 +244,44 @@ impl<S: TraceSink> Controller<S> {
     /// Number of memory grants still awaiting an Agent ack.
     pub fn pending_grant_count(&self) -> usize {
         self.pending_mem_grants.len()
+    }
+
+    /// The seq of `container`'s pending (unacked) memory grant, if any.
+    pub fn pending_grant_seq(&self, container: ContainerId) -> Option<u64> {
+        self.pending_mem_grants.get(&container).map(|p| p.seq)
+    }
+
+    /// Number of OOM events parked behind an in-flight reclamation sweep.
+    pub fn pending_oom_count(&self) -> usize {
+        self.pending_ooms.len()
+    }
+
+    /// Feeds the Controller's behaviourally relevant state into a
+    /// canonical state hash: allocator books, known nodes, the seq
+    /// counter, the reclaim schedule, parked OOMs and pending grants.
+    /// `stats` is excluded — the audit counters never influence a
+    /// decision — so the model checker's visited set merges states that
+    /// differ only in how they were reached.
+    pub fn fingerprint_into(&self, h: &mut StateHash) {
+        self.allocator.fingerprint_into(h);
+        h.write_u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            h.write_u64(n.as_u64());
+        }
+        h.write_u64(self.next_seq);
+        h.write_u64(self.next_reclaim_at.as_micros());
+        h.write_u64(self.pending_ooms.len() as u64);
+        for (c, shortfall) in &self.pending_ooms {
+            h.write_u64(c.as_u64());
+            h.write_u64(*shortfall);
+        }
+        h.write_u64(self.pending_mem_grants.len() as u64);
+        for (c, p) in &self.pending_mem_grants {
+            h.write_u64(c.as_u64());
+            h.write_u64(p.seq);
+            h.write_u64(p.sent_at.as_micros());
+            h.write_u32(p.retries);
+        }
     }
 
     /// Registers an application's global limits (sent by the Deployer
@@ -447,7 +496,16 @@ impl<S: TraceSink> Controller<S> {
             }
             ToController::LimitAck { container, seq } => {
                 if let Some(pending) = self.pending_mem_grants.get(&container) {
-                    if pending.seq <= seq {
+                    // Exact-seq match only. Acks and limit commands share
+                    // one `next_seq` space across both resources, so an
+                    // ack for a *later unrelated* command (e.g. a CPU
+                    // quota update racing the grant) carries a higher
+                    // seq; the old `pending.seq <= seq` rule let it
+                    // retire a grant the agent never applied, silently
+                    // losing it. Lower seqs are straggler acks of
+                    // superseded sends; both kinds leave the pending
+                    // entry armed for the retry timer and are counted.
+                    if pending.seq == seq {
                         self.pending_mem_grants.remove(&container);
                         if S::ENABLED {
                             self.sink.emit(
@@ -457,6 +515,8 @@ impl<S: TraceSink> Controller<S> {
                                 },
                             );
                         }
+                    } else {
+                        self.stats.ack_mismatches += 1;
                     }
                 }
             }
@@ -1087,6 +1147,72 @@ mod tests {
             }
         )));
         assert_eq!(c.stats().grant_retries, 1);
+    }
+
+    /// Regression (found by the `escra-mc` model checker): CPU quota
+    /// commands and memory grants share one `next_seq` space, and the
+    /// agent acks every limit-update RPC. Under the old
+    /// `pending.seq <= seq` rule, the ack of a *CPU* command issued
+    /// after the grant carried a higher seq and retired the unapplied
+    /// memory grant — the container stayed frozen at its old limit and
+    /// no retry ever fired. Acks must match the pending grant's exact
+    /// seq; everything else is counted as a mismatch.
+    #[test]
+    fn ack_of_a_later_unrelated_command_does_not_retire_the_grant() {
+        let (mut c, _granted, grant_seq) = controller_with_unacked_grant();
+        // A throttled period scales the quota up: the SetCpuQuota takes
+        // the next seq in the shared space.
+        let actions = c.handle(
+            SimTime::from_millis(10),
+            ToController::CpuStats {
+                container: C0,
+                stats: throttled_stats(1.0),
+            },
+        );
+        let cpu_seq = match actions[..] {
+            [Action::Agent {
+                cmd: ToAgent::SetCpuQuota { seq, .. },
+                ..
+            }] => seq,
+            ref other => panic!("expected a quota scale-up, got {other:?}"),
+        };
+        assert!(cpu_seq > grant_seq, "shared seq space must advance");
+        // The agent applies the quota and acks it. Pre-fix this cleared
+        // the still-unapplied memory grant.
+        c.handle(
+            SimTime::from_millis(20),
+            ToController::LimitAck {
+                container: C0,
+                seq: cpu_seq,
+            },
+        );
+        assert_eq!(
+            c.pending_grant_count(),
+            1,
+            "a CPU-side ack must not retire the pending memory grant"
+        );
+        assert_eq!(c.stats().ack_mismatches, 1);
+        // The grant is still armed: the retry timer re-sends it.
+        let retries = c.tick(SimTime::from_millis(600));
+        let retry_seq = retries
+            .iter()
+            .find_map(|a| match a {
+                Action::Agent {
+                    cmd: ToAgent::SetMemLimit { seq, .. },
+                    ..
+                } => Some(*seq),
+                _ => None,
+            })
+            .expect("the unacked grant must be re-sent");
+        // The matching ack still clears it.
+        c.handle(
+            SimTime::from_millis(700),
+            ToController::LimitAck {
+                container: C0,
+                seq: retry_seq,
+            },
+        );
+        assert_eq!(c.pending_grant_count(), 0);
     }
 
     #[test]

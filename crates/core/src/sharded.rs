@@ -1111,6 +1111,7 @@ mod tests {
             grant_reconciles: 11,
             grants_abandoned: 12,
             register_errors: 13,
+            ack_mismatches: 14,
         };
         let b = a;
         a.merge(&b);
@@ -1133,6 +1134,7 @@ mod tests {
                 grant_reconciles: 22,
                 grants_abandoned: 24,
                 register_errors: 26,
+                ack_mismatches: 28,
             }
         );
     }

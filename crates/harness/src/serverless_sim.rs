@@ -509,6 +509,13 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
             if let Some(ctl) = controller.as_mut() {
                 let _ = ctl.deregister_container(cid);
             }
+            // Drop the agents' high-water seq entries with the pod: a
+            // reused ContainerId (e.g. after a controller restart or
+            // under a different shard's seq space) must start fresh
+            // instead of inheriting the dead pod's stale-discard mark.
+            for agent in agents.iter_mut() {
+                agent.forget_container(cid);
+            }
             pods.swap_remove(pi);
         }
 

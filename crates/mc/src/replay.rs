@@ -1,0 +1,132 @@
+//! Counterexample replay: re-run a choice script through the model with
+//! live trace recorders and render the merged decision trace.
+//!
+//! An exploration's [`crate::explore::CounterExample`] is just a choice
+//! sequence; on its own it says *what the scheduler did*, not *what the
+//! protocol did*. [`replay`] re-executes the script in a traced world —
+//! the controller records into a class-0 [`TraceRecorder`], agent-side
+//! and network-fault events into a class-1 recorder — and renders both
+//! through `render_merged`, yielding the same canonical trace format
+//! the rest of the workspace uses (`trace_dump`, the microsim). It also
+//! distils the script's fault decisions into a statistical
+//! [`FaultPlan`], so the pathological schedule the checker found can be
+//! re-run (approximately) against the full latency-fabric simulation.
+
+use crate::invariants::{check_all, Violation};
+use crate::model::{Choice, McConfig, World};
+use escra_metrics::fingerprint::trace_fingerprint;
+use escra_metrics::trace::{render_merged, TraceRecorder};
+use escra_net::FaultPlan;
+
+/// Events kept per recorder; model runs are short, so this never wraps.
+const REPLAY_TRACE_CAP: usize = 4096;
+
+/// The product of replaying one choice script.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// One human-readable line per step, describing the choice against
+    /// the state it was applied to (message contents included).
+    pub script: Vec<String>,
+    /// The merged rendered decision trace (`render_merged` format):
+    /// controller decisions, agent-side applications, network faults.
+    pub trace: String,
+    /// Order-sensitive fingerprint of `trace` — two runs of the same
+    /// script must agree on it (determinism gate).
+    pub trace_fp: u64,
+    /// The invariant the final state violates, if any. Replaying a
+    /// counterexample must reproduce its violation.
+    pub violation: Option<Violation>,
+    /// A statistical analogue of the script's fault choices (observed
+    /// drop/duplicate rates), runnable against the `escra-net` fabric.
+    pub fault_plan: FaultPlan,
+}
+
+/// Replays `steps` from `cfg`'s initial state with live trace
+/// recorders. Steps must come from an exploration of the *same* config
+/// (the model is deterministic, so they are valid by construction).
+pub fn replay(cfg: &McConfig, steps: &[Choice]) -> Replay {
+    let ctl_sink = TraceRecorder::with_capacity(REPLAY_TRACE_CAP);
+    let side_sink = TraceRecorder::with_capacity(REPLAY_TRACE_CAP).with_class(1);
+    let mut world = World::with_sinks(cfg.clone(), ctl_sink, side_sink);
+    let mut script = Vec::with_capacity(steps.len());
+    for (i, &choice) in steps.iter().enumerate() {
+        debug_assert!(
+            world.enabled_choices().contains(&choice),
+            "step {i} ({choice}) is not enabled — script/config mismatch"
+        );
+        script.push(format!("{:>2}. {}", i + 1, world.describe(choice)));
+        world.apply(choice);
+    }
+    let violation = check_all(&world);
+    let fault_plan = fault_plan_of(&world);
+    let ctl_rec = world.controller.replace_sink(TraceRecorder::default());
+    let side_rec = std::mem::take(&mut world.side_sink);
+    let trace = render_merged(&[&ctl_rec, &side_rec]);
+    let trace_fp = trace_fingerprint(&trace);
+    Replay {
+        script,
+        trace,
+        trace_fp,
+        violation,
+        fault_plan,
+    }
+}
+
+/// The observed drop/duplicate rates of a finished run, as a
+/// [`FaultPlan`] for the randomized fabric.
+fn fault_plan_of<S: escra_metrics::trace::TraceSink>(world: &World<S>) -> FaultPlan {
+    if world.msgs_sent == 0 {
+        return FaultPlan::none();
+    }
+    let sent = world.msgs_sent as f64;
+    FaultPlan::none()
+        .with_loss((world.msgs_dropped as f64 / sent).min(1.0))
+        .with_duplicates((world.msgs_duplicated as f64 / sent).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::McConfig;
+
+    #[test]
+    fn replay_is_deterministic_and_traced() {
+        let cfg = McConfig::smoke();
+        // OOM → grant → duplicate the grant → apply copy #1 (ack goes in
+        // flight; acks sort before agent commands, so index 0 is the ack)
+        // → deliver the ack → deliver copy #2 (stale-discarded).
+        let steps = [
+            Choice::Oom(0),
+            Choice::Deliver(0),
+            Choice::Duplicate(0),
+            Choice::Deliver(0),
+            Choice::Deliver(0),
+            Choice::Deliver(0),
+        ];
+        let a = replay(&cfg, &steps);
+        let b = replay(&cfg, &steps);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.trace_fp, b.trace_fp);
+        assert_eq!(a.script, b.script);
+        assert_eq!(a.violation, None);
+        // The trace shows the protocol, not just the schedule.
+        assert!(a.trace.contains("oom_trap"), "trace:\n{}", a.trace);
+        assert!(a.trace.contains("grant_issued"));
+        assert!(a.trace.contains("fault_duplicate"));
+        // Duplicate delivered second is stale-discarded by the agent.
+        assert!(a.trace.contains("agent_stale_drop"));
+        assert_eq!(a.script.len(), steps.len());
+        // 1 duplicate out of >= 3 sends.
+        assert!(a.fault_plan.duplicate_probability > 0.0);
+        assert_eq!(a.fault_plan.drop_probability, 0.0);
+    }
+
+    #[test]
+    fn empty_script_renders_empty_everything() {
+        let r = replay(&McConfig::tiny(), &[]);
+        assert!(r.script.is_empty());
+        assert!(r.trace.is_empty());
+        assert_eq!(r.violation, None);
+        assert_eq!(r.fault_plan.drop_probability, 0.0);
+    }
+}

@@ -13,17 +13,21 @@
 //!   [`trace::NoopSink`]), the ring-buffer [`trace::TraceRecorder`], and
 //!   the deterministic multi-recorder merge/render used by `trace_dump`;
 //! * [`expo`] — Prometheus-style text exposition and JSON snapshots of
-//!   controller counters, shard depths and decision-latency histograms.
+//!   controller counters, shard depths and decision-latency histograms;
+//! * [`fingerprint`] — canonical FNV-1a state/trace fingerprints used by
+//!   the `escra-mc` model checker's visited set and replay witnesses.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod expo;
+pub mod fingerprint;
 pub mod recorders;
 pub mod report;
 pub mod trace;
 
 pub use expo::{ExpoSnapshot, HistogramSummary, NamedCounter, PromText, ShardDepth};
+pub use fingerprint::{fingerprint128, trace_fingerprint, Fingerprint, StateHash};
 pub use recorders::{Comparison, LatencyRecorder, RunMetrics, SlackRecorder};
 pub use report::{cdf_lines, downsample_cdf, to_json, Table};
 pub use trace::{

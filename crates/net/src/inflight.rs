@@ -1,0 +1,195 @@
+//! An enumerable in-flight message multiset for exhaustive exploration.
+//!
+//! The latency fabric ([`crate::fabric::Network`]) answers "*when* does
+//! this message arrive?" — the right question for simulation. A model
+//! checker asks a different one: "*which* in-flight message is delivered
+//! (or dropped, or duplicated) next?" and needs to branch over every
+//! answer. [`InFlightSet`] holds the undelivered messages as a canonical
+//! multiset: entries are keyed by their wire encoding ([`WireEncode`]),
+//! kept sorted, and carry a copy count, so
+//!
+//! * identical messages collapse into one branching choice (delivering
+//!   either copy of a duplicate leads to the same successor state),
+//! * the set of distinct messages is enumerable in a deterministic
+//!   order regardless of insertion history, and
+//! * the whole network state folds into a state fingerprint in one pass.
+//!
+//! Reordering needs no explicit operation: the checker picks *any*
+//! distinct entry to deliver next, which is exactly the set of
+//! reorderings of an asynchronous network.
+
+use escra_metrics::fingerprint::StateHash;
+
+/// A canonical byte encoding for model-checked messages.
+///
+/// Two messages must encode equal iff delivering them is behaviourally
+/// indistinguishable. Implementations append to `out` (no length prefix
+/// needed; encodings are compared whole).
+pub trait WireEncode {
+    /// Appends this message's canonical encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+/// One distinct in-flight message plus its copy count.
+#[derive(Debug, Clone)]
+struct Entry<M> {
+    key: Vec<u8>,
+    msg: M,
+    copies: u32,
+}
+
+/// The in-flight message multiset (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct InFlightSet<M> {
+    entries: Vec<Entry<M>>,
+}
+
+impl<M: WireEncode> InFlightSet<M> {
+    /// An empty network.
+    pub fn new() -> Self {
+        InFlightSet {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Total undelivered copies.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|e| e.copies as usize).sum()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of *distinct* messages — the branching factor for
+    /// deliver/drop choices.
+    pub fn distinct_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The `i`-th distinct message (canonical order) and its copy count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= distinct_len()`.
+    pub fn get(&self, i: usize) -> (&M, u32) {
+        let e = &self.entries[i];
+        (&e.msg, e.copies)
+    }
+
+    /// Puts one copy of `msg` in flight.
+    pub fn insert(&mut self, msg: M) {
+        let mut key = Vec::with_capacity(16);
+        msg.encode(&mut key);
+        match self.entries.binary_search_by(|e| e.key.cmp(&key)) {
+            Ok(pos) => self.entries[pos].copies += 1,
+            Err(pos) => self.entries.insert(
+                pos,
+                Entry {
+                    key,
+                    msg,
+                    copies: 1,
+                },
+            ),
+        }
+    }
+
+    /// Removes one copy of the `i`-th distinct message and returns it
+    /// (clone while further copies remain, the original otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= distinct_len()`.
+    pub fn take(&mut self, i: usize) -> M
+    where
+        M: Clone,
+    {
+        if self.entries[i].copies > 1 {
+            self.entries[i].copies -= 1;
+            self.entries[i].msg.clone()
+        } else {
+            self.entries.remove(i).msg
+        }
+    }
+
+    /// Adds one more copy of the `i`-th distinct message (the network
+    /// duplicated it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= distinct_len()`.
+    pub fn duplicate(&mut self, i: usize) {
+        self.entries[i].copies += 1;
+    }
+
+    /// Iterates `(message, copies)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&M, u32)> {
+        self.entries.iter().map(|e| (&e.msg, e.copies))
+    }
+
+    /// Folds the multiset (encodings + counts) into a state fingerprint.
+    pub fn fingerprint_into(&self, h: &mut StateHash) {
+        h.write_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            h.write_u64(e.key.len() as u64);
+            h.write_bytes(&e.key);
+            h.write_u32(e.copies);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl WireEncode for u32 {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_insertion_independent() {
+        let mut a = InFlightSet::new();
+        for m in [3u32, 1, 2, 1] {
+            a.insert(m);
+        }
+        let mut b = InFlightSet::new();
+        for m in [1u32, 1, 2, 3] {
+            b.insert(m);
+        }
+        let collect = |s: &InFlightSet<u32>| s.iter().map(|(m, c)| (*m, c)).collect::<Vec<_>>();
+        assert_eq!(collect(&a), collect(&b));
+        assert_eq!(collect(&a), vec![(1, 2), (2, 1), (3, 1)]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.distinct_len(), 3);
+
+        let mut ha = StateHash::new();
+        a.fingerprint_into(&mut ha);
+        let mut hb = StateHash::new();
+        b.fingerprint_into(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn take_and_duplicate_adjust_copies() {
+        let mut s = InFlightSet::new();
+        s.insert(7u32);
+        s.duplicate(0);
+        assert_eq!(s.get(0), (&7, 2));
+        assert_eq!(s.take(0), 7);
+        assert_eq!(s.get(0), (&7, 1));
+        assert_eq!(s.take(0), 7);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn duplicates_collapse_into_one_choice() {
+        let mut s = InFlightSet::new();
+        s.insert(5u32);
+        s.insert(5u32);
+        assert_eq!(s.distinct_len(), 1);
+        assert_eq!(s.len(), 2);
+    }
+}

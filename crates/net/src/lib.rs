@@ -18,7 +18,10 @@
 //! * [`FaultPlan`] / [`FaultInjector`] — deterministic fault injection
 //!   (loss, duplication, delay spikes, timed partitions) for robustness
 //!   experiments, with the guarantee that the empty plan perturbs
-//!   nothing.
+//!   nothing;
+//! * [`InFlightSet`] — a canonical, enumerable in-flight message
+//!   multiset: the network as the `escra-mc` model checker sees it,
+//!   branching over every deliver/drop/duplicate choice.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,7 +29,9 @@
 pub mod accounting;
 pub mod fabric;
 pub mod fault;
+pub mod inflight;
 
 pub use accounting::{batch_wire_bytes, BandwidthAccountant};
 pub use fabric::{Addr, LatencyModel, Network};
 pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultStats, Partition};
+pub use inflight::{InFlightSet, WireEncode};

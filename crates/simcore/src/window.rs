@@ -104,6 +104,16 @@ impl SlidingWindow {
         self.samples.back().copied()
     }
 
+    /// Iterates the retained samples, oldest first.
+    ///
+    /// Exposed so canonical state hashing (the `escra-mc` model checker)
+    /// can fingerprint the exact window contents — aggregate views like
+    /// [`SlidingWindow::sum`] cannot distinguish permuted histories that
+    /// diverge later through eviction order.
+    pub fn samples(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().copied()
+    }
+
     /// Discards all samples.
     pub fn clear(&mut self) {
         self.samples.clear();

@@ -47,6 +47,14 @@ cargo run -q -p escra-bench --release --bin trace_dump -- --threads 4
 cmp target/escra-results/trace_dump_serial.trace \
     target/escra-results/trace_dump_t4.trace
 
+echo "== model check (exhaustive, pinned state counts, mutations caught) =="
+# mc_explore explores every schedule (reorder + drop + duplicate + OOM +
+# timer branching) of four bounded control-plane configurations: all
+# must verify clean with BFS == DFS on the exact pinned state counts,
+# and the two seeded protocol mutations must each be caught with a
+# replayable counterexample.
+cargo run -q -p escra-bench --release --bin mc_explore -- --smoke
+
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 

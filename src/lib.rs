@@ -26,6 +26,7 @@
 //! | [`metrics`] | `escra-metrics` | latency/slack recorders, report tables |
 //! | [`harness`] | `escra-harness` | the experiment runners |
 //! | [`simcore`] | `escra-simcore` | deterministic DES core |
+//! | [`mc`] | `escra-mc` | explicit-state model checker for the limit/ack/grant protocol |
 //!
 //! ## Example
 //!
@@ -57,6 +58,7 @@ pub use escra_cfs as cfs;
 pub use escra_cluster as cluster;
 pub use escra_core as core;
 pub use escra_harness as harness;
+pub use escra_mc as mc;
 pub use escra_metrics as metrics;
 pub use escra_net as net;
 pub use escra_simcore as simcore;

@@ -1,0 +1,165 @@
+//! Property tests for the escra-mc model checker.
+//!
+//! Three families:
+//!
+//! * **Strategy agreement.** BFS and DFS must visit the *same* canonical
+//!   state set (and agree there is no violation) on every sampled
+//!   bounded configuration of the honest protocol — the reachable
+//!   closure of a finite graph does not depend on visit order, so any
+//!   disagreement means the fingerprint misses state or the model is
+//!   nondeterministic.
+//! * **Honest protocol verifies clean.** No sampled budget combination
+//!   (OOMs, CPU reports, drops, duplicates, timer firings) produces an
+//!   invariant violation without a seeded mutation.
+//! * **Seeded mutations stay caught.** The two protocol mutations are
+//!   found by both strategies on their hunt configurations, and stay
+//!   found when the fault budgets are *enlarged* (more choices only add
+//!   schedules — they can never hide the bad one). Each counterexample
+//!   replays to the same violation with a non-empty decision trace.
+
+use escra::mc::{explore, replay, McConfig, Mutation, Strategy, Violation};
+use proptest::prelude::*;
+
+/// A small honest configuration drawn from the sampled budgets: one
+/// agent, one container, geometry as [`McConfig::smoke`].
+fn bounded(ooms: u32, cpu: u32, drops: u32, dups: u32, ticks: u32) -> McConfig {
+    McConfig {
+        agents: 1,
+        containers: 1,
+        ooms_per_container: ooms,
+        cpu_reports_per_container: cpu,
+        cpu_report_containers: usize::from(cpu > 0),
+        drops,
+        duplicates: dups,
+        ticks,
+        ..McConfig::smoke()
+    }
+}
+
+/// BFS and DFS agree, and the honest protocol is clean, on **every**
+/// configuration of the budget lattice (exhaustive, not sampled): ooms
+/// 0–2 × cpu reports 0–1 × drops 0–1 × duplicates 0–1 × ticks 0–1,
+/// capped at 5 total budgeted events to keep the debug-build run short
+/// (the release-mode `mc_explore` gate covers the bigger geometries).
+#[test]
+fn bfs_and_dfs_agree_and_the_honest_protocol_is_clean() {
+    let mut checked = 0;
+    for ooms in 0..=2u32 {
+        for cpu in 0..=1u32 {
+            for drops in 0..=1u32 {
+                for dups in 0..=1u32 {
+                    for ticks in 0..=1u32 {
+                        if ooms + cpu + drops + dups + ticks > 5 {
+                            continue;
+                        }
+                        let cfg = bounded(ooms, cpu, drops, dups, ticks);
+                        let bfs = explore(&cfg, Strategy::Bfs);
+                        let dfs = explore(&cfg, Strategy::Dfs);
+                        assert!(
+                            bfs.violation.is_none(),
+                            "honest protocol must verify clean on \
+                             ({ooms},{cpu},{drops},{dups},{ticks}), got {:?}",
+                            bfs.violation
+                        );
+                        assert!(dfs.violation.is_none());
+                        assert_eq!(bfs.fingerprints, dfs.fingerprints);
+                        assert_eq!(bfs.states, dfs.states);
+                        assert_eq!(bfs.transitions, dfs.transitions);
+                        assert_eq!(bfs.states, bfs.fingerprints.len());
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 47, "lattice coverage drifted");
+}
+
+proptest! {
+    #[test]
+    fn seeded_mutations_stay_caught_under_enlarged_budgets(
+        extra_drops in 0u32..2,
+        extra_dups in 0u32..2,
+        extra_ticks in 0u32..2,
+    ) {
+        // Enlarging budgets adds schedules; the catching schedule is
+        // still among them, so the mutation must still be caught (by
+        // both strategies — DFS may find a different, longer witness).
+        let grow = |mut cfg: McConfig, mutation: Mutation| {
+            cfg.drops += extra_drops;
+            cfg.duplicates += extra_dups;
+            cfg.ticks += extra_ticks;
+            cfg.with_mutation(mutation)
+        };
+        for (cfg, wants_valve) in [
+            (grow(McConfig::stale_window(), Mutation::SkipStaleDiscard), true),
+            (grow(McConfig::cross_kind(), Mutation::AckClearsBySeqLe), false),
+        ] {
+            let bfs = explore(&cfg, Strategy::Bfs);
+            let ce = bfs.violation.clone();
+            prop_assert!(ce.is_some(), "BFS missed the mutation");
+            let ce = ce.unwrap();
+            if wants_valve {
+                prop_assert!(matches!(ce.violation, Violation::ValveClamped { .. }));
+            } else {
+                prop_assert!(matches!(
+                    ce.violation,
+                    Violation::AckDivergence { .. } | Violation::GrantUnresolved { .. }
+                ));
+            }
+            prop_assert!(
+                explore(&cfg, Strategy::Dfs).violation.is_some(),
+                "DFS missed the mutation"
+            );
+            // The counterexample is replayable: same violation, with a
+            // rendered decision trace and a deterministic fingerprint.
+            let a = replay(&cfg, &ce.steps);
+            let b = replay(&cfg, &ce.steps);
+            prop_assert_eq!(a.violation.as_ref(), Some(&ce.violation));
+            prop_assert!(!a.trace.is_empty());
+            prop_assert_eq!(a.trace_fp, b.trace_fp);
+            prop_assert_eq!(&a.script, &b.script);
+        }
+    }
+}
+
+/// The exact pre-fix controller bug (`pending.seq <= ack.seq`) is found
+/// as a minimal, human-checkable counterexample: drop the grant, let
+/// the later CPU ack retire it, and the limit is silently lost.
+#[test]
+fn ack_seq_le_counterexample_is_minimal_and_replayable() {
+    let cfg = McConfig::cross_kind().with_mutation(Mutation::AckClearsBySeqLe);
+    let bfs = explore(&cfg, Strategy::Bfs);
+    let ce = bfs.violation.expect("mutation must be caught");
+    // BFS yields a shortest witness: trap, deliver, drop, report,
+    // deliver stats, deliver quota, deliver ack — seven steps.
+    assert_eq!(ce.steps.len(), 7, "steps: {:?}", ce.steps);
+    let r = replay(&cfg, &ce.steps);
+    assert_eq!(r.violation, Some(ce.violation));
+    assert!(r.trace.contains("grant_issued"), "trace:\n{}", r.trace);
+    assert!(r.trace.contains("fault_drop"));
+    // The same schedule against the *fixed* controller is clean.
+    let honest = replay(&McConfig::cross_kind(), &ce.steps);
+    assert_eq!(honest.violation, None);
+}
+
+/// The stale-discard mutation's witness replays against the honest
+/// protocol without tripping anything: the agent's seq check is exactly
+/// what separates the two runs.
+#[test]
+fn stale_discard_counterexample_is_discarded_by_the_honest_agent() {
+    let cfg = McConfig::stale_window().with_mutation(Mutation::SkipStaleDiscard);
+    let ce = explore(&cfg, Strategy::Bfs)
+        .violation
+        .expect("mutation must be caught");
+    assert!(matches!(ce.violation, Violation::ValveClamped { .. }));
+    let mutated = replay(&cfg, &ce.steps);
+    assert!(mutated.trace.contains("agent_valve_clamp"));
+    let honest = replay(&McConfig::stale_window(), &ce.steps);
+    assert_eq!(honest.violation, None);
+    assert!(
+        honest.trace.contains("agent_stale_drop"),
+        "honest trace:\n{}",
+        honest.trace
+    );
+}

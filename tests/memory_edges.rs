@@ -225,6 +225,107 @@ fn grant_deltas_match_pool_and_reconcile_is_free() {
     assert_eq!(granted_sum, 2 * 32 * MIB); // two block-sized grants
 }
 
+/// Abandon-then-ack audit: when a grant exhausts `grant_max_retries`
+/// the pool headroom it reserved is settled exactly once — the granted
+/// bytes stay on the books (the agent may well have applied a send
+/// whose ack was lost, so forgetting them could double-spend the pool)
+/// and the next OOM reconciles the limit. A straggler ack arriving
+/// *after* the abandonment must not move the pool and must not emit a
+/// second grant lifecycle event.
+#[test]
+fn abandoned_grant_settles_pool_exactly_once_despite_straggler_ack() {
+    let cfg = EscraConfig::default();
+    let max_retries = cfg.grant_max_retries;
+    let mut ctl = Controller::with_sink(cfg, recorder());
+    ctl.register_app(APP, 8.0, 1024 * MIB);
+    let c = ContainerId::new(0);
+    ctl.register_container(c, APP, NODE, 1.0, 96 * MIB)
+        .expect("register");
+    let allocated_before = ctl.allocator().app_pool(APP).unwrap().allocated_mem_bytes();
+
+    // OOM → 32 MiB block grant; the SetMemLimit is never acked.
+    let t = SimTime::from_millis(100);
+    let actions = ctl.handle(
+        t,
+        ToController::OomEvent {
+            container: c,
+            shortfall_bytes: 8 * MIB,
+            current_limit_bytes: 96 * MIB,
+        },
+    );
+    assert_eq!(actions.len(), 1);
+    let allocated_after_grant = ctl.allocator().app_pool(APP).unwrap().allocated_mem_bytes();
+    assert_eq!(allocated_after_grant - allocated_before, 32 * MIB);
+
+    // Let the retry timer run dry: max_retries re-sends, then abandon.
+    let mut last_seq = None;
+    for step in 1..(max_retries as u64 + 3) {
+        let retries = ctl.tick(SimTime::from_millis(100 + 600 * step));
+        for a in &retries {
+            if let escra::core::Action::Agent {
+                cmd: escra::core::ToAgent::SetMemLimit { seq, .. },
+                ..
+            } = a
+            {
+                last_seq = Some(*seq);
+            }
+        }
+    }
+    assert_eq!(ctl.pending_grant_count(), 0);
+    assert_eq!(ctl.stats().grants_abandoned, 1);
+    assert_eq!(ctl.stats().grant_retries, max_retries as u64);
+    // Abandonment settles nothing twice: the granted bytes are still
+    // allocated exactly once.
+    assert_eq!(
+        ctl.allocator().app_pool(APP).unwrap().allocated_mem_bytes(),
+        allocated_after_grant
+    );
+
+    // The straggler: the agent's ack of the last re-send finally lands,
+    // after the grant was written off. It must not credit or debit the
+    // pool, must not resurrect or re-clear a pending grant, and must
+    // not add a grant_acked to the story.
+    let straggler_seq = last_seq.expect("at least one retry was sent");
+    ctl.handle(
+        SimTime::from_secs(10),
+        ToController::LimitAck {
+            container: c,
+            seq: straggler_seq,
+        },
+    );
+    assert_eq!(ctl.pending_grant_count(), 0);
+    assert_eq!(
+        ctl.allocator().app_pool(APP).unwrap().allocated_mem_bytes(),
+        allocated_after_grant,
+        "a straggler ack after abandonment must not move the pool"
+    );
+    assert_eq!(ctl.allocator().tracked_mem_sum(APP), 96 * MIB + 32 * MIB);
+
+    // The next OOM from the (still-96 MiB-limited) container reconciles
+    // the tracked 128 MiB limit instead of granting again.
+    ctl.handle(
+        SimTime::from_secs(11),
+        ToController::OomEvent {
+            container: c,
+            shortfall_bytes: 8 * MIB,
+            current_limit_bytes: 96 * MIB,
+        },
+    );
+    assert_eq!(
+        ctl.allocator().app_pool(APP).unwrap().allocated_mem_bytes(),
+        allocated_after_grant,
+        "reconciliation re-sends the tracked limit without pool movement"
+    );
+
+    // The observable story, in order: one grant lifecycle that ends in
+    // abandonment (no grant_acked anywhere), then the reconcile.
+    let kinds: Vec<&'static str> = ctl.sink().iter().map(|e| e.kind.label()).collect();
+    let mut expected = vec!["oom_trap", "grant_issued"];
+    expected.extend(std::iter::repeat_n("grant_retried", max_retries as usize));
+    expected.extend(["grant_abandoned", "oom_trap", "grant_reconciled"]);
+    assert_eq!(kinds, expected);
+}
+
 /// The reclaim-then-grant path: every ReclaimApplied credit lands in
 /// the trace (and the pool) before the pending OOM's retry outcome,
 /// and the retry grant spends no more than headroom + Σψ.
