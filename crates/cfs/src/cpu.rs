@@ -33,7 +33,48 @@ pub struct CpuPeriodStats {
     pub throttled: bool,
 }
 
+/// Millicores per core: the fixed-point scale of the columnar wire
+/// form's quota column (a u32 of millicores spans 0..4.29M cores,
+/// far beyond any machine).
+pub const MCORES_PER_CORE: f64 = 1000.0;
+
 impl CpuPeriodStats {
+    /// Quantizes to the columnar wire form's fixed-point integer fields:
+    /// `(quota_mcores, unused_us, usage_us, throttled)`. Quota rounds to
+    /// the nearest millicore; the microsecond fields round to the
+    /// nearest whole microsecond (the granularity the kernel hook
+    /// actually exports — the simulator's fractional microseconds are an
+    /// artifact of its fluid model). Values are clamped to the u32
+    /// range; NaN saturates to zero.
+    pub fn to_fixed_point(&self) -> (u32, u32, u32, bool) {
+        let clamp = |x: f64| x.round().clamp(0.0, u32::MAX as f64) as u32;
+        (
+            clamp(self.quota_cores * MCORES_PER_CORE),
+            clamp(self.unused_runtime_us),
+            clamp(self.usage_us),
+            self.throttled,
+        )
+    }
+
+    /// Reconstructs per-period statistics from the columnar wire form's
+    /// fixed-point fields. Every u32 is exactly representable in f64, so
+    /// `from_fixed_point(a, b, c, t)` round-trips bit-for-bit through
+    /// [`CpuPeriodStats::to_fixed_point`] — the identity the columnar
+    /// ingest path's decision-equivalence proofs rest on.
+    pub fn from_fixed_point(
+        quota_mcores: u32,
+        unused_us: u32,
+        usage_us: u32,
+        throttled: bool,
+    ) -> Self {
+        CpuPeriodStats {
+            quota_cores: quota_mcores as f64 / MCORES_PER_CORE,
+            unused_runtime_us: unused_us as f64,
+            usage_us: usage_us as f64,
+            throttled,
+        }
+    }
+
     /// CPU usage in cores over the period.
     pub fn usage_cores(&self, period: SimDuration) -> f64 {
         self.usage_us / period.as_micros() as f64

@@ -10,28 +10,190 @@ use crate::config::EscraConfig;
 use crate::distributed_container::DistributedContainer;
 use escra_cfs::CpuPeriodStats;
 use escra_cluster::{AppId, ContainerId, NodeId};
-use escra_simcore::window::SlidingWindow;
+use escra_simcore::window::RESUM_INTERVAL;
 use std::collections::BTreeMap;
 
 /// Sentinel in the direct-mapped container index: "no slab slot".
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// The two §IV-D decision windows of one container, fused.
+///
+/// Every CPU decision pushes one sample into *both* windows — the
+/// throttle indicator and the period's unused runtime — so the two
+/// rings advance in lockstep and can share a single set of ring
+/// coordinates: one length/head bump and one eviction branch per
+/// decision instead of two. The arithmetic is exactly that of the
+/// standalone `escra_simcore::window` types this replaces in the slab:
+///
+/// * throttle side — a one-word bit ring with an exact integer
+///   set-bit count ([`escra_simcore::window::BitWindow`]); its mean is
+///   provably bit-identical to a `SlidingWindow` fed 0.0/1.0;
+/// * unused side — an inline ring with a plain running sum, re-summed
+///   exactly every [`RESUM_INTERVAL`] evictions
+///   ([`escra_simcore::window::InlineWindow`]; see there for the drift
+///   bound and why the plain sum is safe for the decision procedure).
+#[derive(Debug, Clone)]
+#[repr(C)]
+struct DecisionWindows {
+    /// Running sum of the retained unused-runtime samples.
+    sum: f64,
+    /// Throttle indicators; ring position `i` is bit `i`.
+    bits: u64,
+    /// Exact count of set bits among the retained indicators.
+    ones: u16,
+    /// Retained samples (both rings; they fill together).
+    len: u16,
+    /// Ring position of the oldest sample once full.
+    head: u16,
+    /// Retained-window capacity, at most [`DecisionWindows::MAX_CAPACITY`].
+    cap: u16,
+    /// Evictions since the last exact re-summation of `sum`.
+    evictions: u16,
+    /// Unused-runtime ring storage.
+    buf: [f64; DecisionWindows::MAX_CAPACITY],
+}
+
+impl DecisionWindows {
+    /// Largest supported window — sized for the allocator's decision
+    /// windows (paper default 5 periods; the ablation sweep probes up
+    /// to 20), and bounded by the one-word throttle bit ring anyway.
+    const MAX_CAPACITY: usize = 24;
+
+    /// Creates fused windows keeping the last `capacity` samples.
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(
+            capacity <= DecisionWindows::MAX_CAPACITY,
+            "DecisionWindows supports at most {} periods",
+            DecisionWindows::MAX_CAPACITY
+        );
+        DecisionWindows {
+            sum: 0.0,
+            bits: 0,
+            ones: 0,
+            len: 0,
+            head: 0,
+            cap: capacity as u16,
+            evictions: 0,
+            buf: [0.0; DecisionWindows::MAX_CAPACITY],
+        }
+    }
+
+    /// Fresh exact re-summation of the unused ring, oldest first — the
+    /// drift guard, on the same schedule as `InlineWindow`.
+    fn resum(&mut self) {
+        self.sum = 0.0;
+        let (head, len) = (self.head as usize, self.len as usize);
+        for i in 0..len {
+            let idx = head + i;
+            let idx = if idx >= len { idx - len } else { idx };
+            self.sum += self.buf[idx];
+        }
+        self.evictions = 0;
+    }
+
+    /// Pushes one decision's samples into both rings, evicting the
+    /// oldest pair when full.
+    #[inline]
+    fn push(&mut self, throttled: bool, unused: f64) {
+        if self.len < self.cap {
+            let pos = self.len as usize;
+            self.bits |= (throttled as u64) << pos;
+            self.ones += throttled as u16;
+            self.buf[pos] = unused;
+            self.sum += unused;
+            self.len += 1;
+            return;
+        }
+        let head = self.head as usize;
+        let old_bit = (self.bits >> head) & 1;
+        self.bits = (self.bits & !(1u64 << head)) | ((throttled as u64) << head);
+        self.ones = self.ones + throttled as u16 - old_bit as u16;
+        // SAFETY: `head < cap <= MAX_CAPACITY` is a constructor-checked
+        // invariant maintained by the wrap below; this is the
+        // allocator's hottest load, so the bound is not re-proved per
+        // call.
+        let slot = unsafe { self.buf.get_unchecked_mut(head) };
+        let old = std::mem::replace(slot, unused);
+        self.sum += unused - old;
+        self.head = if head + 1 == self.cap as usize {
+            0
+        } else {
+            self.head + 1
+        };
+        self.evictions += 1;
+        if self.evictions >= RESUM_INTERVAL as u16 {
+            self.resum();
+        }
+    }
+
+    /// Retained sample count (both rings).
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Mean throttle indicator (0.0 when empty) — `BitWindow::mean`.
+    #[inline]
+    fn throttle_mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.ones as f64 / self.len as f64
+        }
+    }
+
+    /// Mean unused runtime (0.0 when empty) — `InlineWindow::mean`.
+    #[inline]
+    fn unused_mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.sum / self.len as f64
+        }
+    }
+
+    /// Ring position of logical sample `i` (0 = oldest).
+    fn pos(&self, i: usize) -> usize {
+        if self.len < self.cap {
+            i
+        } else {
+            (self.head as usize + i) % self.cap as usize
+        }
+    }
+
+    /// Throttle indicators, oldest first.
+    fn throttle_samples(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len as usize).map(move |i| (self.bits >> self.pos(i)) & 1 == 1)
+    }
+
+    /// Unused-runtime samples, oldest first.
+    fn unused_samples(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.len as usize).map(move |i| self.buf[self.pos(i)])
+    }
+}
 
 /// Per-container state tracked by the allocator, stored in a dense slab
 /// slot (see [`ResourceAllocator`]).
+///
+/// `repr(C)` with the telemetry-hot fields first: the scalars plus the
+/// fused windows' running sum, bit ring and coordinates fill the leading
+/// cache line, and the handful of unused-ring entries a default-size
+/// window actually uses sit on the next one, so a CPU decision touches
+/// two lines of the slab, not a scatter of them.
 #[derive(Debug, Clone)]
+#[repr(C)]
 struct Track {
-    app: AppId,
     /// Index of the owning app in `ResourceAllocator::app_entries`, so
     /// the telemetry hot path reaches the pool without a map lookup.
     app_slot: u32,
     /// This track's position in its app's `members` list (kept in sync
     /// across swap-removals so deregistration stays O(1)).
     member_pos: u32,
-    node: NodeId,
     quota_cores: f64,
+    node: NodeId,
+    app: AppId,
     mem_limit_bytes: u64,
-    throttle_win: SlidingWindow,
-    unused_win: SlidingWindow,
+    windows: DecisionWindows,
 }
 
 /// An application's pool plus the slab slots of its live containers.
@@ -139,6 +301,16 @@ pub struct ResourceAllocator {
 impl ResourceAllocator {
     /// Creates an allocator with the given tunables.
     pub fn new(cfg: EscraConfig) -> Self {
+        // The per-container windows use inline ring storage to keep the
+        // telemetry hot loop off the heap; fail loudly at construction
+        // rather than at first registration if the configured window
+        // does not fit.
+        assert!(
+            cfg.window_periods <= DecisionWindows::MAX_CAPACITY,
+            "window_periods {} exceeds the inline window capacity {}",
+            cfg.window_periods,
+            DecisionWindows::MAX_CAPACITY
+        );
         ResourceAllocator {
             cfg,
             app_entries: Vec::new(),
@@ -249,8 +421,7 @@ impl ResourceAllocator {
             node,
             quota_cores: cpu,
             mem_limit_bytes: mem,
-            throttle_win: SlidingWindow::new(self.cfg.window_periods),
-            unused_win: SlidingWindow::new(self.cfg.window_periods),
+            windows: DecisionWindows::new(self.cfg.window_periods),
         });
         let raw = container.as_u64() as usize;
         if self.index.len() <= raw {
@@ -351,11 +522,16 @@ impl ResourceAllocator {
             h.write_u64(t.node.as_u64());
             h.write_f64(t.quota_cores);
             h.write_u64(t.mem_limit_bytes);
-            for win in [&t.throttle_win, &t.unused_win] {
-                h.write_u64(win.len() as u64);
-                for s in win.samples() {
-                    h.write_f64(s);
-                }
+            // The two windows hash the same bytes as when they were both
+            // `SlidingWindow`s: length, then each sample as f64 oldest
+            // first (the bit window's indicators widen to 0.0/1.0).
+            h.write_u64(t.windows.len() as u64);
+            for s in t.windows.throttle_samples() {
+                h.write_f64(if s { 1.0 } else { 0.0 });
+            }
+            h.write_u64(t.windows.len() as u64);
+            for s in t.windows.unused_samples() {
+                h.write_f64(s);
             }
         }
     }
@@ -368,7 +544,7 @@ impl ResourceAllocator {
     /// quota move.
     pub fn decision_inputs(&self, container: ContainerId) -> Option<(f64, f64)> {
         self.track(container)
-            .map(|t| (t.throttle_win.mean(), t.unused_win.mean()))
+            .map(|t| (t.windows.throttle_mean(), t.windows.unused_mean()))
     }
 
     /// Ingests one per-period CPU statistic and produces the quota
@@ -391,20 +567,43 @@ impl ResourceAllocator {
         let slot = self
             .slot_of(container)
             .ok_or(AllocatorError::UnknownContainer(container))?;
-        let track = self.slab[slot as usize]
-            .as_mut()
-            .expect("indexed slot is live");
-        let pool = &mut self.app_entries[track.app_slot as usize].pool;
-
         let usage_cores = stats.usage_cores(period);
         let unused_cores = stats.unused_cores(period);
-        track
-            .throttle_win
-            .push(if stats.throttled { 1.0 } else { 0.0 });
-        track.unused_win.push(unused_cores);
+        Ok(self.decide_at_slot(slot, usage_cores, unused_cores, stats.throttled))
+    }
 
-        if stats.throttled {
-            let throttle_rate = track.throttle_win.mean();
+    /// The decision procedure proper, addressed by slab slot with the
+    /// per-period statistics already converted to cores. This is the
+    /// single implementation behind both the per-message path
+    /// ([`ResourceAllocator::on_cpu_stats`]) and the columnar ingest
+    /// path, which resolves slots and does the fixed-point → cores
+    /// conversion over whole columns before looping over decisions.
+    #[inline]
+    pub(crate) fn decide_at_slot(
+        &mut self,
+        slot: u32,
+        usage_cores: f64,
+        unused_cores: f64,
+        throttled: bool,
+    ) -> CpuDecision {
+        // SAFETY: every caller resolves `slot` through the live container
+        // index (`slot_of` or the columnar Phase-A gather), which only
+        // ever maps to occupied slab slots, and no deregistration can
+        // interleave inside the same `&mut self` call.
+        let track = unsafe {
+            self.slab
+                .get_unchecked_mut(slot as usize)
+                .as_mut()
+                .unwrap_unchecked()
+        };
+
+        track.windows.push(throttled, unused_cores);
+
+        if throttled {
+            // The pool is only touched on the two scaling branches; the
+            // Hold fast path must not pay for its cache line.
+            let pool = &mut self.app_entries[track.app_slot as usize].pool;
+            let throttle_rate = track.windows.throttle_mean();
             let unallocated = pool.unallocated_cpu_cores();
             // Υ taken literally as printed (×20, ×35): the raw term is
             // far larger than any sane step, so the effective behaviour
@@ -421,11 +620,11 @@ impl ResourceAllocator {
             let grant = pool.try_allocate_cpu(want.min(cap));
             if grant > 0.0 {
                 track.quota_cores += grant;
-                return Ok(CpuDecision::ScaleUp {
+                return CpuDecision::ScaleUp {
                     new_quota_cores: track.quota_cores,
-                });
+                };
             }
-            return Ok(CpuDecision::Hold);
+            return CpuDecision::Hold;
         }
 
         // Scale down only when both this period's unused runtime and the
@@ -433,26 +632,64 @@ impl ResourceAllocator {
         // paper says the Allocator bases decisions on, and debouncing on
         // it prevents a single post-spike period from triggering a cut
         // that immediately re-throttles the container.
-        if track.quota_cores - usage_cores > self.cfg.gamma_cores
-            && track.unused_win.mean() > self.cfg.gamma_cores
-        {
-            // Shrink the windowed-mean excess *above* γ by κ, so the
-            // quota converges to usage + γ — "just above container usage"
-            // — rather than overshooting below the safe margin (see
-            // DESIGN.md §4 on this reading of the scale-down rule).
-            let dec = (track.unused_win.mean() - self.cfg.gamma_cores) * self.cfg.kappa;
-            let floor = self.cfg.min_quota_cores.max(usage_cores);
-            let new_quota = (track.quota_cores - dec).max(floor);
-            let released = track.quota_cores - new_quota;
-            if released > 1e-9 {
-                pool.release_cpu(released);
-                track.quota_cores = new_quota;
-                return Ok(CpuDecision::ScaleDown {
-                    new_quota_cores: new_quota,
-                });
+        if track.quota_cores - usage_cores > self.cfg.gamma_cores {
+            // The windowed mean (an f64 division) is evaluated only once
+            // the headroom check passes — the common Hold path exits on
+            // the subtraction alone.
+            let unused_mean = track.windows.unused_mean();
+            if unused_mean > self.cfg.gamma_cores {
+                // Shrink the windowed-mean excess *above* γ by κ, so the
+                // quota converges to usage + γ — "just above container
+                // usage" — rather than overshooting below the safe margin
+                // (see DESIGN.md §4 on this reading of the scale-down
+                // rule).
+                let dec = (unused_mean - self.cfg.gamma_cores) * self.cfg.kappa;
+                let floor = self.cfg.min_quota_cores.max(usage_cores);
+                let new_quota = (track.quota_cores - dec).max(floor);
+                let released = track.quota_cores - new_quota;
+                if released > 1e-9 {
+                    let pool = &mut self.app_entries[track.app_slot as usize].pool;
+                    pool.release_cpu(released);
+                    track.quota_cores = new_quota;
+                    return CpuDecision::ScaleDown {
+                        new_quota_cores: new_quota,
+                    };
+                }
             }
         }
-        Ok(CpuDecision::Hold)
+        CpuDecision::Hold
+    }
+
+    /// The node hosting the container in the given slab slot.
+    #[inline]
+    pub(crate) fn node_at_slot(&self, slot: u32) -> NodeId {
+        // SAFETY: same caller contract as `decide_at_slot` — `slot` is
+        // resolved through the live container index.
+        unsafe {
+            self.slab
+                .get_unchecked(slot as usize)
+                .as_ref()
+                .unwrap_unchecked()
+                .node
+        }
+    }
+
+    /// The windowed decision inputs for the container in the given slab
+    /// slot — the slot-addressed form of
+    /// [`ResourceAllocator::decision_inputs`].
+    pub(crate) fn decision_inputs_at_slot(&self, slot: u32) -> (f64, f64) {
+        let t = self.slab[slot as usize]
+            .as_ref()
+            .expect("indexed slot is live");
+        (t.windows.throttle_mean(), t.windows.unused_mean())
+    }
+
+    /// The direct-mapped `raw ContainerId → slab slot` index ([`NO_SLOT`]
+    /// marks an absent id); raw ids at or beyond the length are likewise
+    /// unregistered. The columnar ingest gathers slots straight off this
+    /// slice instead of calling [`ResourceAllocator::slot_of`] per entry.
+    pub(crate) fn raw_index(&self) -> &[u32] {
+        &self.index
     }
 
     /// Handles an OOM event (paper §IV-D2): grant a fixed block from the

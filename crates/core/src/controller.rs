@@ -13,9 +13,10 @@
 //! control-plane latency).
 
 use crate::agent::ReclaimEntry;
-use crate::allocator::{AllocatorError, CpuDecision, OomDecision, ResourceAllocator};
+use crate::allocator::{AllocatorError, CpuDecision, OomDecision, ResourceAllocator, NO_SLOT};
+use crate::columnar::{self, ColumnScratch};
 use crate::config::EscraConfig;
-use crate::telemetry::{CpuStatsEntry, ToAgent, ToController};
+use crate::telemetry::{CpuStatsColumns, CpuStatsEntry, ToAgent, ToController};
 use escra_cfs::CpuPeriodStats;
 use escra_cluster::{AppId, ContainerId, NodeId};
 use escra_metrics::fingerprint::StateHash;
@@ -161,6 +162,12 @@ pub struct Controller<S: TraceSink = NoopSink> {
     pending_mem_grants: BTreeMap<ContainerId, PendingGrant>,
     stats: ControllerStats,
     sink: S,
+    /// Reused per-ingest column buffers (slots + converted cores) so the
+    /// steady-state columnar path allocates nothing.
+    scratch: ColumnScratch,
+    /// Reused collection buffer for overdue grant ids in
+    /// [`Controller::tick_into`].
+    due_scratch: Vec<ContainerId>,
 }
 
 impl Controller {
@@ -184,6 +191,8 @@ impl<S: TraceSink> Controller<S> {
             pending_mem_grants: BTreeMap::new(),
             stats: ControllerStats::default(),
             sink,
+            scratch: ColumnScratch::default(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -419,6 +428,18 @@ impl<S: TraceSink> Controller<S> {
                 }
                 self.ingest_cpu_batch_at(now, &entries, out);
             }
+            ToController::CpuStatsColumns { node, columns } => {
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        TraceEventKind::BatchIngest {
+                            node: node.as_u64(),
+                            entries: columns.len() as u32,
+                        },
+                    );
+                }
+                self.ingest_cpu_columns_at(now, &columns, out);
+            }
             ToController::OomEvent {
                 container,
                 shortfall_bytes,
@@ -488,8 +509,7 @@ impl<S: TraceSink> Controller<S> {
                             );
                         }
                         self.pending_ooms.push((container, shortfall_bytes));
-                        let sweep = self.launch_reclaim(now);
-                        out.extend(sweep);
+                        self.launch_reclaim_into(now, out);
                     }
                     Ok(OomDecision::Kill) | Err(_) => {}
                 }
@@ -547,6 +567,119 @@ impl<S: TraceSink> Controller<S> {
         for entry in entries {
             self.ingest_cpu_stats(now, entry.container, entry.stats, out);
         }
+    }
+
+    /// Ingests one node's period statistics in columnar (struct-of-arrays)
+    /// form, exactly as if [`Controller::ingest_cpu_batch`] had been fed
+    /// `columns.to_entries()` — decision-for-decision, counter-for-counter
+    /// and trace-event-for-trace-event identical (property-tested).
+    ///
+    /// Timeless compatibility wrapper over
+    /// [`Controller::ingest_cpu_columns_at`].
+    pub fn ingest_cpu_columns(&mut self, columns: &CpuStatsColumns, out: &mut Vec<Action>) {
+        self.ingest_cpu_columns_at(SimTime::ZERO, columns, out);
+    }
+
+    /// [`Controller::ingest_cpu_columns`] with the arrival time.
+    ///
+    /// The hot path runs in two phases. Phase A is columnar and
+    /// branch-free: slab slots are gathered straight off the allocator's
+    /// direct-mapped index, and the fixed-point `usage_us`/`unused_us`
+    /// columns are converted to cores in bulk (AVX2 when the host has it,
+    /// a bit-identical scalar loop otherwise — see [`crate::columnar`]).
+    /// Phase B walks the precomputed columns and runs the sequential
+    /// decision procedure per entry; pool state is inherently sequential
+    /// (each grant changes what the next entry can take), so only this
+    /// phase is serial, and it touches nothing but resolved slots and
+    /// ready-made `f64`s.
+    pub fn ingest_cpu_columns_at(
+        &mut self,
+        now: SimTime,
+        columns: &CpuStatsColumns,
+        out: &mut Vec<Action>,
+    ) {
+        let period_us = self.allocator.config().report_period.as_micros() as f64;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        // Phase A: gather slots, convert integer columns to cores.
+        scratch.slots.clear();
+        scratch.slots.reserve(columns.len());
+        let index = self.allocator.raw_index();
+        scratch.slots.extend(
+            columns
+                .container_raw
+                .iter()
+                .map(|&raw| index.get(raw as usize).copied().unwrap_or(NO_SLOT)),
+        );
+        columnar::u32_to_cores(&columns.usage_us, period_us, &mut scratch.usage_cores);
+        columnar::u32_to_cores(&columns.unused_us, period_us, &mut scratch.unused_cores);
+        // Phase B: the sequential decision loop over resolved columns.
+        // Every entry counts as ingested (known or not), exactly like the
+        // row paths — tallied up front to keep the loop lean. The columns
+        // are walked as zipped iterators (no per-entry bounds checks) and
+        // the packed throttle words as a shifting cursor: entry `i`'s bit
+        // is the low bit of the current word, refilled every 64 entries —
+        // the same LSB-first order [`CpuStatsColumns::throttled_bit`]
+        // reads.
+        self.stats.cpu_stats_ingested += columns.len() as u64;
+        let mut thr_words = columns.throttled.iter();
+        let mut thr_cursor = 0u64;
+        let rows = scratch
+            .slots
+            .iter()
+            .zip(&scratch.usage_cores)
+            .zip(&scratch.unused_cores)
+            .zip(&columns.container_raw);
+        for (i, (((&slot, &usage_cores), &unused_cores), &raw)) in rows.enumerate() {
+            if i % 64 == 0 {
+                thr_cursor = thr_words.next().copied().unwrap_or(0);
+            }
+            let throttled = thr_cursor & 1 == 1;
+            thr_cursor >>= 1;
+            if slot == NO_SLOT {
+                // Unknown reporter (deregistered with telemetry in
+                // flight): counted and skipped, like the row paths.
+                continue;
+            }
+            let decision =
+                self.allocator
+                    .decide_at_slot(slot, usage_cores, unused_cores, throttled);
+            let (new_quota_cores, is_scale_up) = match decision {
+                CpuDecision::ScaleUp { new_quota_cores } => (new_quota_cores, true),
+                CpuDecision::ScaleDown { new_quota_cores } => (new_quota_cores, false),
+                CpuDecision::Hold => continue,
+            };
+            let node = self.allocator.node_at_slot(slot);
+            self.stats.quota_updates += 1;
+            if is_scale_up {
+                self.stats.scale_ups += 1;
+            } else {
+                self.stats.scale_downs += 1;
+            }
+            if S::ENABLED {
+                let (throttle_rate, unused_mean_cores) =
+                    self.allocator.decision_inputs_at_slot(slot);
+                self.sink.emit(
+                    now,
+                    TraceEventKind::CpuDecision {
+                        container: raw as u64,
+                        scale_up: is_scale_up,
+                        new_quota_cores,
+                        throttle_rate,
+                        unused_mean_cores,
+                    },
+                );
+            }
+            let seq = self.next_seq();
+            out.push(Action::Agent {
+                node,
+                cmd: ToAgent::SetCpuQuota {
+                    container: ContainerId::new(raw as u64),
+                    quota_cores: new_quota_cores,
+                    seq,
+                },
+            });
+        }
+        self.scratch = scratch;
     }
 
     /// One container's end-of-period statistic: feed the Allocator and,
@@ -609,8 +742,21 @@ impl<S: TraceSink> Controller<S> {
     /// Periodic work: launches the proactive reclamation loop every
     /// `reclaim_interval` (paper: 5 s) and re-sends memory grants whose
     /// ack is overdue.
+    ///
+    /// Compatibility wrapper over [`Controller::tick_into`]; embeddings
+    /// on the hot path should hold a warm buffer and call `tick_into`
+    /// directly — with no grants pending and no sweep due, that path
+    /// allocates nothing.
     pub fn tick(&mut self, now: SimTime) -> Vec<Action> {
-        let mut actions = self.retry_stale_grants(now);
+        let mut actions = Vec::new();
+        self.tick_into(now, &mut actions);
+        actions
+    }
+
+    /// [`Controller::tick`] appending into a caller-owned buffer (not
+    /// cleared), mirroring the [`Controller::handle_into`] contract.
+    pub fn tick_into(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        self.retry_stale_grants_into(now, out);
         if now >= self.next_reclaim_at {
             // Advance from the *scheduled* time, not from `now`:
             // rescheduling off the observed tick made every late tick
@@ -622,27 +768,31 @@ impl<S: TraceSink> Controller<S> {
             while self.next_reclaim_at <= now {
                 self.next_reclaim_at += interval;
             }
-            let sweep = self.launch_reclaim(now);
-            actions.extend(sweep);
+            self.launch_reclaim_into(now, out);
         }
-        actions
     }
 
     /// Re-sends unacked memory grants past the retry timeout. After
     /// `grant_max_retries` unanswered re-sends the grant is abandoned:
     /// the books already carry the bytes, so if the container is still
     /// alive its next OOM event will reconcile against the tracked limit.
-    fn retry_stale_grants(&mut self, now: SimTime) -> Vec<Action> {
+    fn retry_stale_grants_into(&mut self, now: SimTime, out: &mut Vec<Action>) {
+        if self.pending_mem_grants.is_empty() {
+            return;
+        }
         let timeout = self.allocator.config().grant_retry_timeout;
         let max_retries = self.allocator.config().grant_max_retries;
-        let due: Vec<ContainerId> = self
-            .pending_mem_grants
-            .iter()
-            .filter(|(_, g)| now >= g.sent_at + timeout)
-            .map(|(c, _)| *c)
-            .collect();
-        let mut actions = Vec::new();
-        for container in due {
+        // The map cannot be mutated while iterated; collect the overdue
+        // ids into a scratch buffer the Controller owns and reuses.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        due.extend(
+            self.pending_mem_grants
+                .iter()
+                .filter(|(_, g)| now >= g.sent_at + timeout)
+                .map(|(c, _)| *c),
+        );
+        for container in due.drain(..) {
             let Some(grant) = self.pending_mem_grants.get(&container).copied() else {
                 continue;
             };
@@ -689,7 +839,7 @@ impl<S: TraceSink> Controller<S> {
                     retries: grant.retries + 1,
                 },
             );
-            actions.push(Action::Agent {
+            out.push(Action::Agent {
                 node,
                 cmd: ToAgent::SetMemLimit {
                     container,
@@ -698,10 +848,10 @@ impl<S: TraceSink> Controller<S> {
                 },
             });
         }
-        actions
+        self.due_scratch = due;
     }
 
-    fn launch_reclaim(&mut self, now: SimTime) -> Vec<Action> {
+    fn launch_reclaim_into(&mut self, now: SimTime, out: &mut Vec<Action>) {
         self.stats.reclaim_sweeps += 1;
         let delta = self.allocator.config().delta_bytes;
         if S::ENABLED {
@@ -713,13 +863,10 @@ impl<S: TraceSink> Controller<S> {
                 },
             );
         }
-        self.nodes
-            .iter()
-            .map(|node| Action::Agent {
-                node: *node,
-                cmd: ToAgent::ReclaimMemory { delta_bytes: delta },
-            })
-            .collect()
+        out.extend(self.nodes.iter().map(|node| Action::Agent {
+            node: *node,
+            cmd: ToAgent::ReclaimMemory { delta_bytes: delta },
+        }));
     }
 
     /// Ingests an Agent's reclamation report: credits ψ back to the pools

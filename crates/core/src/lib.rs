@@ -70,11 +70,13 @@
 
 pub mod agent;
 pub mod allocator;
+pub mod columnar;
 pub mod config;
 pub mod controller;
 pub mod deployer;
 pub mod distributed_container;
 pub mod sharded;
+mod spsc;
 pub mod telemetry;
 pub mod watcher;
 
@@ -85,7 +87,7 @@ pub use controller::{Action, Controller, ControllerStats};
 pub use deployer::{deploy_app, initial_cpu_limit, initial_mem_limit, AppConfig};
 pub use distributed_container::DistributedContainer;
 pub use sharded::{PoolSnapshot, ShardedController};
-pub use telemetry::{CpuStatsEntry, ToAgent, ToController};
+pub use telemetry::{CpuStatsColumns, CpuStatsEntry, ToAgent, ToController};
 pub use watcher::ContainerWatcher;
 
 // Trace plumbing re-exported so embedders of `Controller<S>` need not

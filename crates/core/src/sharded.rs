@@ -4,7 +4,9 @@
 //! telemetry ingest batched and allocation-free, but it still ran on one
 //! core. [`ShardedController`] removes that ceiling: N worker threads,
 //! each owning an independent [`Controller`] (and therefore its own slab
-//! allocator), fed over bounded `std::sync::mpsc` channels.
+//! allocator), fed over lock-free SPSC ring buffers carrying recycled
+//! batch buffers — row batches or columnar blocks — so no per-batch
+//! allocation crosses the shard boundary in steady state.
 //!
 //! ## Routing rule: by application id
 //!
@@ -36,12 +38,38 @@
 //!   global numbering differs from a sequential Controller (the
 //!   identity property test canonicalises seqs to per-container ranks).
 //!
+//! ## Ring + mutex architecture
+//!
+//! Each shard owns a [`SpscRing`] work ring (router is the sole
+//! producer), two recycle rings returning emptied batch buffers to the
+//! router, and a `Mutex<ShardCore>` holding its [`Controller`], its
+//! pending action buffer, and its ingest-busy clock. The invariant tying
+//! them together: **work is popped only while holding the core mutex**,
+//! and everything popped is applied before the mutex is released.
+//! Whoever acquires a shard's core and finds its ring empty therefore
+//! sees fully up-to-date state. That one invariant buys three things:
+//!
+//! * **Inline control operations.** Registration, queries, drains and
+//!   sink extraction no longer need request/reply channels: the router
+//!   locks the core, drains the ring itself (preserving FIFO order), and
+//!   operates on the books directly.
+//! * **Cross-shard work stealing.** An idle worker may `try_lock` a
+//!   sibling's core and drain *its* ring: per-shard FIFO order and
+//!   state-under-lock make the result identical to the owner doing it,
+//!   so a skewed `app % N` distribution no longer leaves threads idle
+//!   while one shard backs up. Busy time is attributed to the shard
+//!   whose Controller ran, not the thread that ran it.
+//! * **Backpressure without blocking channels.** If a work ring fills,
+//!   the router flushes that shard on its own thread and retries.
+//!
 //! ## Determinism
 //!
 //! The router (the caller's thread) is the only producer into each
-//! shard's FIFO channel, and every shard drains its channel in order,
+//! shard's work ring, rings are FIFO, and every pop happens under the
+//! shard's core mutex with the popped message applied before release —
 //! so each shard's action stream is a deterministic function of the
-//! routed message sequence — independent of thread scheduling.
+//! routed message sequence, independent of thread scheduling and of
+//! *which* thread (owner, stealer, router) did the processing.
 //! [`ShardedController::drain_actions_into`] concatenates the shard
 //! buffers in shard order, making the drained stream reproducible
 //! run-to-run as well.
@@ -50,44 +78,77 @@ use crate::agent::ReclaimEntry;
 use crate::allocator::AllocatorError;
 use crate::config::EscraConfig;
 use crate::controller::{Action, Controller, ControllerStats};
-use crate::telemetry::{CpuStatsEntry, ToAgent, ToController};
+use crate::spsc::SpscRing;
+use crate::telemetry::{CpuStatsColumns, CpuStatsEntry, ToAgent, ToController};
 use escra_cluster::{AppId, ContainerId, NodeId};
 use escra_metrics::trace::{NoopSink, TraceEventKind, TraceSink};
 use escra_simcore::time::SimTime;
 use std::collections::BTreeSet;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Sentinel for "container not seen by the router yet".
 const NO_SHARD: u32 = u32::MAX;
 
-/// Router → worker channel depth: enough to pipeline a burst of per-node
-/// batches without unbounded queue growth.
-const SHARD_CHANNEL_DEPTH: usize = 256;
+/// Work-ring depth: enough to pipeline a burst of per-node batches
+/// without unbounded queue growth (overflow flushes on the router).
+const WORK_RING_DEPTH: usize = 256;
 
-/// Worker → router recycle-channel depth for emptied batch buffers.
+/// Recycle-ring depth for emptied batch buffers (row and columnar).
 const RECYCLE_DEPTH: usize = 8;
 
-/// One message to a shard worker. Fire-and-forget variants accumulate
-/// actions in the shard's pending buffer; request variants reply on the
-/// shard's reply channel.
-enum ShardMsg {
-    /// A routed wire message (telemetry, OOM, ack) — fire-and-forget.
+/// How long an idle worker parks between scans of the work rings. A
+/// router push unparks the shard's owner immediately for control
+/// traffic (wire messages, ticks, reclaim reports) and whenever the
+/// ring is filling; bulk telemetry below [`WAKE_DEPTH`] is left for the
+/// next scan instead — an inline router drain usually gets there first,
+/// and skipping the wake keeps futex churn off the ingest hot path. So
+/// this bounds the pickup latency of lazily-woken telemetry and of
+/// *stolen* work, both far inside the 100 ms reporting period. It is
+/// deliberately coarse: a fleet of workers re-scanning every few
+/// microseconds perforates the very ingest runs (and, on small hosts,
+/// the router's inline drains) it is trying to help with.
+const IDLE_PARK: Duration = Duration::from_millis(2);
+
+/// Ring depth at which a telemetry push wakes the shard's owner even
+/// though telemetry is normally drained lazily (see [`IDLE_PARK`]).
+const WAKE_DEPTH: usize = WORK_RING_DEPTH / 4;
+
+/// Ring depth at which the *router* helps out: after pushing telemetry
+/// it try-drains the shard inline while the freshly split blocks are
+/// still warm in cache. A handful of blocks per drain session keeps the
+/// per-session clock reads amortised; the try-lock race keeps true
+/// parallelism intact on hosts where the shard's owner got there first.
+const ASSIST_DEPTH: usize = 1;
+
+/// Entries a shard's split scratch may accumulate before the router
+/// ships it as one [`ShardWork::Columns`] block. Per-node telemetry
+/// blocks shrink by a factor of N when split across N shards; shipping
+/// every sub-block separately would charge each one the fixed
+/// pop/clear/recycle/Phase-A cost. Coalescing consecutive sub-blocks
+/// (same timestamp, telemetry-only — any other message for the shard
+/// flushes first, preserving per-shard FIFO order and therefore
+/// decision identity) amortises that cost over a few hundred entries.
+const COALESCE_ENTRIES: usize = 256;
+
+/// One unit of work on a shard's ring. Everything here is
+/// fire-and-forget: actions accumulate in the shard's pending buffer
+/// until the next drain, and emptied batch buffers return to the router
+/// through the recycle rings.
+enum ShardWork {
+    /// A routed wire message (telemetry, OOM, ack).
     Wire { now: SimTime, msg: ToController },
-    /// A wire registration; replies `Registered` so the router learns
-    /// whether the container actually joined this shard's books.
-    WireRegister {
-        now: SimTime,
-        container: ContainerId,
-        app: AppId,
-        node: NodeId,
-    },
-    /// This shard's slice of one node's telemetry batch. The entry
-    /// buffer is returned to the router through the recycle channel.
+    /// This shard's slice of one node's row-form telemetry batch.
     Batch {
         now: SimTime,
         entries: Vec<CpuStatsEntry>,
+    },
+    /// This shard's slice of one node's columnar telemetry block.
+    Columns {
+        now: SimTime,
+        columns: CpuStatsColumns,
     },
     /// Time advanced: run grant retries and the reclaim schedule.
     Tick { now: SimTime },
@@ -97,62 +158,6 @@ enum ShardMsg {
         now: SimTime,
         entries: Vec<ReclaimEntry>,
     },
-    /// Register an application's global limits.
-    RegisterApp {
-        app: AppId,
-        cpu_limit_cores: f64,
-        mem_limit_bytes: u64,
-    },
-    /// Typed container registration; replies `Registered`.
-    RegisterContainer {
-        container: ContainerId,
-        app: AppId,
-        node: NodeId,
-        initial_cpu_cores: f64,
-        initial_mem_bytes: u64,
-    },
-    /// Typed deregistration; replies `Deregistered`.
-    Deregister { container: ContainerId },
-    /// Node-knowledge broadcast (see module docs).
-    NoteNode { node: NodeId },
-    /// Swap the shard's pending action buffer for `spare`; replies
-    /// `Actions` with the accumulated buffer.
-    Drain { spare: Vec<Action> },
-    /// Read-only queries; each replies with the matching variant.
-    Query(ShardQuery),
-    /// Swap the shard Controller's trace sink for a default one;
-    /// replies `Sink` with the recorded trace.
-    TakeSink,
-    /// Stop the worker loop.
-    Shutdown,
-}
-
-/// Read-only state queries a shard answers synchronously.
-enum ShardQuery {
-    Stats,
-    Quota(ContainerId),
-    MemLimit(ContainerId),
-    TrackedCpu(AppId),
-    TrackedMem(AppId),
-    PoolLimits(AppId),
-    PendingGrants,
-    IngestBusy,
-}
-
-/// A shard worker's reply.
-enum ShardReply<S> {
-    Registered(Result<(), AllocatorError>),
-    Deregistered(Result<(), AllocatorError>),
-    Actions(Vec<Action>),
-    Stats(ControllerStats),
-    Quota(Option<f64>),
-    MemLimit(Option<u64>),
-    F64(f64),
-    U64(u64),
-    PoolLimits(Option<PoolSnapshot>),
-    Pending(usize),
-    Busy(Duration),
-    Sink(S),
 }
 
 /// A point-in-time copy of one application pool's books, readable
@@ -169,24 +174,149 @@ pub struct PoolSnapshot {
     pub allocated_mem_bytes: u64,
 }
 
-struct ShardHandle<S> {
-    tx: SyncSender<ShardMsg>,
-    rx: Receiver<ShardReply<S>>,
-    recycle_rx: Receiver<Vec<CpuStatsEntry>>,
-    join: Option<JoinHandle<()>>,
+/// The mutable half of a shard: its Controller, the actions it has
+/// accumulated since the last drain, and its ingest-busy clock.
+struct ShardCore<S: TraceSink> {
+    controller: Controller<S>,
+    pending: Vec<Action>,
+    ingest_busy: Duration,
 }
 
-impl<S> ShardHandle<S> {
-    fn send(&self, msg: ShardMsg) {
-        self.tx
-            .send(msg)
-            .expect("shard worker exited while the router holds it");
-    }
+/// Everything a shard shares between the router and the workers.
+struct ShardShared<S: TraceSink> {
+    /// Router → shard work. Popped only under `core`'s lock.
+    work: SpscRing<ShardWork>,
+    /// Emptied row-batch buffers heading back to the router.
+    recycle_entries: SpscRing<Vec<CpuStatsEntry>>,
+    /// Emptied columnar blocks heading back to the router.
+    recycle_columns: SpscRing<CpuStatsColumns>,
+    /// Set by the owning worker right before it parks; the router only
+    /// pays for an unpark when someone is (about to be) asleep.
+    parked: AtomicBool,
+    core: Mutex<ShardCore<S>>,
+}
 
-    fn recv(&self) -> ShardReply<S> {
-        self.rx
-            .recv()
-            .expect("shard worker exited while a reply was pending")
+impl<S: TraceSink> std::fmt::Debug for ShardShared<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardShared").finish_non_exhaustive()
+    }
+}
+
+/// Drains everything currently on `shared`'s work ring into its core.
+/// The caller holds the core's mutex. Returns whether anything ran.
+///
+/// The ingest-busy clock is read once per *run* of consecutive
+/// batch/columnar items rather than once per item: sub-batches shrink
+/// as the shard count grows, and two `Instant::now` calls per 8-entry
+/// block would charge more clock than ingest to the critical path.
+/// The pop and buffer-recycle between consecutive blocks are charged
+/// too — they are the real cost of crossing the shard boundary.
+fn drain_ring<S: TraceSink>(shared: &ShardShared<S>, core: &mut ShardCore<S>) -> bool {
+    let mut did = false;
+    let mut ingest_t0: Option<Instant> = None;
+    while let Some(work) = shared.work.pop() {
+        did = true;
+        let ShardCore {
+            controller,
+            pending,
+            ingest_busy,
+        } = core;
+        match work {
+            ShardWork::Batch { now, mut entries } => {
+                if ingest_t0.is_none() {
+                    ingest_t0 = Some(Instant::now());
+                }
+                controller.ingest_cpu_batch_at(now, &entries, pending);
+                entries.clear();
+                // Best effort: a full recycle ring drops the buffer and
+                // the router allocates a fresh one.
+                let _ = shared.recycle_entries.push(entries);
+            }
+            ShardWork::Columns { now, mut columns } => {
+                if ingest_t0.is_none() {
+                    ingest_t0 = Some(Instant::now());
+                }
+                controller.ingest_cpu_columns_at(now, &columns, pending);
+                columns.clear();
+                let _ = shared.recycle_columns.push(columns);
+            }
+            ShardWork::Wire { now, msg } => {
+                if let Some(t0) = ingest_t0.take() {
+                    *ingest_busy += t0.elapsed();
+                }
+                controller.handle_into(now, msg, pending);
+            }
+            ShardWork::Tick { now } => {
+                if let Some(t0) = ingest_t0.take() {
+                    *ingest_busy += t0.elapsed();
+                }
+                controller.tick_into(now, pending);
+            }
+            ShardWork::ReclaimReport { now, entries } => {
+                if let Some(t0) = ingest_t0.take() {
+                    *ingest_busy += t0.elapsed();
+                }
+                pending.extend(controller.on_reclaim_report(now, &entries));
+            }
+        }
+    }
+    if let Some(t0) = ingest_t0 {
+        core.ingest_busy += t0.elapsed();
+    }
+    did
+}
+
+/// Non-blocking drain attempt — the work-stealing primitive. Skips the
+/// shard when its ring looks empty or its core is held elsewhere.
+fn try_drain<S: TraceSink>(shared: &ShardShared<S>) -> bool {
+    if shared.work.is_empty() {
+        return false;
+    }
+    let Ok(mut core) = shared.core.try_lock() else {
+        return false;
+    };
+    drain_ring(shared, &mut core)
+}
+
+/// The worker loop for shard `me`: drain the own ring, steal from
+/// siblings when idle, park when there is nothing anywhere. On shutdown
+/// the worker exits only once its own ring is empty, so every message
+/// accepted before teardown is applied.
+fn worker_loop<S: TraceSink>(
+    me: usize,
+    shards: Arc<Vec<ShardShared<S>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let n = shards.len();
+    loop {
+        let mut did = try_drain(&shards[me]);
+        if !did {
+            for k in 1..n {
+                if try_drain(&shards[(me + k) % n]) {
+                    did = true;
+                    break;
+                }
+            }
+        }
+        if did {
+            continue;
+        }
+        if shutdown.load(Ordering::Acquire) {
+            if shards[me].work.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        }
+        // Nothing drained: either everything is empty or another thread
+        // (typically the router, draining inline) holds the cores. Park
+        // either way — spinning on a held lock would steal cycles from
+        // the very drain we are waiting on. A push that races the flag
+        // store skips the unpark, so pickup latency is bounded by the
+        // park timeout, not unbounded.
+        shards[me].parked.store(true, Ordering::Release);
+        std::thread::park_timeout(IDLE_PARK);
+        shards[me].parked.store(false, Ordering::Release);
     }
 }
 
@@ -199,155 +329,47 @@ impl<S> ShardHandle<S> {
 ///
 /// Generic over a [`TraceSink`] like [`Controller`]: each shard's
 /// Controller records into its own sink (created per shard by
-/// [`ShardedController::with_sinks`]) and the router records channel
+/// [`ShardedController::with_sinks`]) and the router records ring
 /// enqueue/dequeue depth into one more; a finished run extracts all of
 /// them with [`ShardedController::take_sinks`]. The default
 /// [`NoopSink`] compiles all of it out.
 #[derive(Debug)]
 pub struct ShardedController<S: TraceSink = NoopSink> {
-    handles: Vec<ShardHandle<S>>,
+    shards: Arc<Vec<ShardShared<S>>>,
+    workers: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
     /// Direct-mapped container → shard index (`NO_SHARD` = unknown),
     /// keyed by the raw container id exactly like the allocator's slab
     /// index (ids are sequential and never reused).
     container_shard: Vec<u32>,
-    /// Per-shard scratch buffers for splitting one node batch.
+    /// Per-shard scratch buffers for splitting one node's row batch.
     split_scratch: Vec<Vec<CpuStatsEntry>>,
-    /// Per-shard spare action buffers recycled through `Drain` swaps.
+    /// Per-shard scratch blocks for splitting one node's columnar block.
+    /// Sub-blocks below [`COALESCE_ENTRIES`] are *held* here across
+    /// calls and coalesced with the next block's split (see
+    /// [`ShardedController::ingest_cpu_columns_at`]).
+    col_scratch: Vec<CpuStatsColumns>,
+    /// Total entries currently held across `col_scratch` (fast guard so
+    /// non-columnar paths pay nothing for the flush check).
+    col_held: usize,
+    /// The timestamp of the held entries: coalescing never merges
+    /// telemetry from different times (a changed `now` flushes first),
+    /// so held blocks carry a single well-defined stamp.
+    col_now: SimTime,
+    /// Per-shard spare action buffers recycled through drain swaps.
     spares: Vec<Vec<Action>>,
     /// Nodes already broadcast to every shard.
     known_nodes: BTreeSet<NodeId>,
     /// Per-drain scratch for deduplicating cluster-wide sweep commands.
     seen_reclaims: Vec<(NodeId, u64)>,
-    /// The router's own sink: shard-channel enqueue/dequeue events.
+    /// The router's own sink: shard-ring enqueue/dequeue events.
     sink: S,
     /// Work messages sent to each shard since its last drain. Only
     /// maintained when `S::ENABLED` (the depth exists for the trace).
     queue_depth: Vec<u32>,
     /// The latest time observed by the router, stamped on drain-time
-    /// channel events (drains carry no `now` of their own).
+    /// ring events (drains carry no `now` of their own).
     last_now: SimTime,
-}
-
-impl<S> std::fmt::Debug for ShardHandle<S> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardHandle").finish_non_exhaustive()
-    }
-}
-
-fn shard_worker<S: TraceSink + Default>(
-    cfg: EscraConfig,
-    sink: S,
-    rx: Receiver<ShardMsg>,
-    tx: SyncSender<ShardReply<S>>,
-    recycle_tx: SyncSender<Vec<CpuStatsEntry>>,
-) {
-    let mut controller = Controller::with_sink(cfg, sink);
-    let mut pending: Vec<Action> = Vec::new();
-    let mut ingest_busy = Duration::ZERO;
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Wire { now, msg } => controller.handle_into(now, msg, &mut pending),
-            ShardMsg::WireRegister {
-                now,
-                container,
-                app,
-                node,
-            } => {
-                controller.handle_into(
-                    now,
-                    ToController::Register {
-                        container,
-                        app,
-                        node,
-                    },
-                    &mut pending,
-                );
-                // The wire path swallows the error into `register_errors`;
-                // report success as "the container now belongs to `app` on
-                // this shard" so the router can record the home shard.
-                let ok = controller.allocator().app_of(container) == Some(app);
-                let _ = tx.send(ShardReply::Registered(if ok {
-                    Ok(())
-                } else {
-                    Err(AllocatorError::UnknownContainer(container))
-                }));
-            }
-            ShardMsg::Batch { now, mut entries } => {
-                let t = Instant::now();
-                controller.ingest_cpu_batch_at(now, &entries, &mut pending);
-                ingest_busy += t.elapsed();
-                entries.clear();
-                // Best effort: if the recycle channel is full the buffer
-                // is simply dropped and the router allocates a fresh one.
-                let _ = recycle_tx.try_send(entries);
-            }
-            ShardMsg::Tick { now } => pending.extend(controller.tick(now)),
-            ShardMsg::ReclaimReport { now, entries } => {
-                pending.extend(controller.on_reclaim_report(now, &entries));
-            }
-            ShardMsg::RegisterApp {
-                app,
-                cpu_limit_cores,
-                mem_limit_bytes,
-            } => controller.register_app(app, cpu_limit_cores, mem_limit_bytes),
-            ShardMsg::RegisterContainer {
-                container,
-                app,
-                node,
-                initial_cpu_cores,
-                initial_mem_bytes,
-            } => {
-                let result = controller
-                    .register_container(container, app, node, initial_cpu_cores, initial_mem_bytes)
-                    .map(|actions| pending.extend(actions));
-                let _ = tx.send(ShardReply::Registered(result));
-            }
-            ShardMsg::Deregister { container } => {
-                let _ = tx.send(ShardReply::Deregistered(
-                    controller.deregister_container(container),
-                ));
-            }
-            ShardMsg::NoteNode { node } => controller.note_node(node),
-            ShardMsg::Drain { spare } => {
-                let out = std::mem::replace(&mut pending, spare);
-                let _ = tx.send(ShardReply::Actions(out));
-            }
-            ShardMsg::Query(q) => {
-                let reply = match q {
-                    ShardQuery::Stats => ShardReply::Stats(controller.stats()),
-                    ShardQuery::Quota(c) => ShardReply::Quota(controller.allocator().quota_of(c)),
-                    ShardQuery::MemLimit(c) => {
-                        ShardReply::MemLimit(controller.allocator().mem_limit_of(c))
-                    }
-                    ShardQuery::TrackedCpu(app) => {
-                        ShardReply::F64(controller.allocator().tracked_cpu_sum(app))
-                    }
-                    ShardQuery::TrackedMem(app) => {
-                        ShardReply::U64(controller.allocator().tracked_mem_sum(app))
-                    }
-                    ShardQuery::PoolLimits(app) => {
-                        ShardReply::PoolLimits(controller.allocator().app_pool(app).map(|p| {
-                            PoolSnapshot {
-                                cpu_limit_cores: p.cpu_limit_cores(),
-                                mem_limit_bytes: p.mem_limit_bytes(),
-                                allocated_cpu_cores: p.allocated_cpu_cores(),
-                                allocated_mem_bytes: p.allocated_mem_bytes(),
-                            }
-                        }))
-                    }
-                    ShardQuery::PendingGrants => {
-                        ShardReply::Pending(controller.pending_grant_count())
-                    }
-                    ShardQuery::IngestBusy => ShardReply::Busy(ingest_busy),
-                };
-                let _ = tx.send(reply);
-            }
-            ShardMsg::TakeSink => {
-                let _ = tx.send(ShardReply::Sink(controller.replace_sink(S::default())));
-            }
-            ShardMsg::Shutdown => break,
-        }
-    }
 }
 
 impl ShardedController {
@@ -366,36 +388,48 @@ impl<S: TraceSink + Default + Send + 'static> ShardedController<S> {
     /// Spawns `n_shards` worker threads, each owning an independent
     /// [`Controller`] built from `cfg` and recording into `mk(i)`.
     /// `mk(n_shards)` — one past the last shard — builds the router's
-    /// own sink for shard-channel events.
+    /// own sink for shard-ring events.
     ///
     /// # Panics
     ///
     /// Panics if `n_shards` is zero.
     pub fn with_sinks(cfg: EscraConfig, n_shards: usize, mut mk: impl FnMut(usize) -> S) -> Self {
         assert!(n_shards > 0, "a sharded controller needs at least 1 shard");
-        let handles = (0..n_shards)
+        let shards: Arc<Vec<ShardShared<S>>> = Arc::new(
+            (0..n_shards)
+                .map(|i| ShardShared {
+                    work: SpscRing::with_capacity(WORK_RING_DEPTH),
+                    recycle_entries: SpscRing::with_capacity(RECYCLE_DEPTH),
+                    recycle_columns: SpscRing::with_capacity(RECYCLE_DEPTH),
+                    parked: AtomicBool::new(false),
+                    core: Mutex::new(ShardCore {
+                        controller: Controller::with_sink(cfg.clone(), mk(i)),
+                        pending: Vec::new(),
+                        ingest_busy: Duration::ZERO,
+                    }),
+                })
+                .collect(),
+        );
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = (0..n_shards)
             .map(|i| {
-                let (msg_tx, msg_rx) = sync_channel::<ShardMsg>(SHARD_CHANNEL_DEPTH);
-                let (reply_tx, reply_rx) = sync_channel::<ShardReply<S>>(2);
-                let (recycle_tx, recycle_rx) = sync_channel::<Vec<CpuStatsEntry>>(RECYCLE_DEPTH);
-                let cfg = cfg.clone();
-                let sink = mk(i);
-                let join = std::thread::Builder::new()
+                let shards = Arc::clone(&shards);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::Builder::new()
                     .name(format!("escra-shard-{i}"))
-                    .spawn(move || shard_worker(cfg, sink, msg_rx, reply_tx, recycle_tx))
-                    .expect("spawn shard worker");
-                ShardHandle {
-                    tx: msg_tx,
-                    rx: reply_rx,
-                    recycle_rx,
-                    join: Some(join),
-                }
+                    .spawn(move || worker_loop(i, shards, shutdown))
+                    .expect("spawn shard worker")
             })
             .collect();
         ShardedController {
-            handles,
+            shards,
+            workers,
+            shutdown,
             container_shard: Vec::new(),
             split_scratch: (0..n_shards).map(|_| Vec::new()).collect(),
+            col_scratch: (0..n_shards).map(|_| CpuStatsColumns::new()).collect(),
+            col_held: 0,
+            col_now: SimTime::ZERO,
             spares: (0..n_shards).map(|_| Vec::new()).collect(),
             known_nodes: BTreeSet::new(),
             seen_reclaims: Vec::new(),
@@ -409,13 +443,11 @@ impl<S: TraceSink + Default + Send + 'static> ShardedController<S> {
     /// shard order), then the router's own — `n_shards + 1` sinks total.
     /// The live Controllers continue recording into fresh defaults.
     pub fn take_sinks(&mut self) -> Vec<S> {
-        let mut sinks = Vec::with_capacity(self.handles.len() + 1);
-        for h in &self.handles {
-            h.send(ShardMsg::TakeSink);
-            match h.recv() {
-                ShardReply::Sink(s) => sinks.push(s),
-                _ => unreachable!("take-sink replies Sink"),
-            }
+        self.flush_all_columns();
+        let mut sinks = Vec::with_capacity(self.shards.len() + 1);
+        for shard in 0..self.shards.len() {
+            let mut core = self.lock_core(shard);
+            sinks.push(core.controller.replace_sink(S::default()));
         }
         sinks.push(std::mem::take(&mut self.sink));
         sinks
@@ -423,11 +455,58 @@ impl<S: TraceSink + Default + Send + 'static> ShardedController<S> {
 }
 
 impl<S: TraceSink> ShardedController<S> {
+    /// Locks a shard's core for an inline (router-thread) operation,
+    /// first applying everything queued on its work ring so the books
+    /// are exactly as if the shard had processed its whole message
+    /// sequence — the flush that replaces the old request/reply
+    /// channels.
+    fn lock_core(&self, shard: usize) -> MutexGuard<'_, ShardCore<S>> {
+        let shared = &self.shards[shard];
+        let mut core = shared.core.lock().expect("shard core poisoned");
+        drain_ring(shared, &mut core);
+        core
+    }
+
+    /// Pushes one unit of work onto a shard's ring, waking its owner
+    /// for control traffic or a filling ring (bulk telemetry is drained
+    /// lazily — see [`IDLE_PARK`]). A full ring is flushed inline on
+    /// the router thread — the router is the sole producer, so after
+    /// the flush the retry cannot fail.
+    fn push_work(&self, shard: usize, work: ShardWork) {
+        let urgent = !matches!(work, ShardWork::Batch { .. } | ShardWork::Columns { .. });
+        let shared = &self.shards[shard];
+        if let Err(work) = shared.work.push(work) {
+            {
+                let mut core = shared.core.lock().expect("shard core poisoned");
+                drain_ring(shared, &mut core);
+            }
+            shared
+                .work
+                .push(work)
+                .ok()
+                .expect("work ring emptied by the inline flush");
+        }
+        if urgent {
+            if shared.parked.load(Ordering::Acquire) {
+                self.workers[shard].thread().unpark();
+            }
+            return;
+        }
+        let depth = shared.work.len();
+        if depth >= ASSIST_DEPTH && !try_drain(shared) && depth >= WAKE_DEPTH {
+            // The owner (or a thief) holds the core and the backlog is
+            // real — make sure someone is awake to chew on it.
+            if shared.parked.load(Ordering::Acquire) {
+                self.workers[shard].thread().unpark();
+            }
+        }
+    }
+
     /// Sends a *work* message (telemetry, tick, reclaim report) to
-    /// `shard`, recording channel depth into the router's sink. Control
-    /// messages (registration, queries, drains) bypass this — they are
-    /// not part of the §VI-I data path the trace observes.
-    fn send_work(&mut self, shard: usize, msg: ShardMsg) {
+    /// `shard`, recording ring depth into the router's sink. Control
+    /// operations (registration, queries, drains) bypass this — they
+    /// are not part of the §VI-I data path the trace observes.
+    fn send_work(&mut self, shard: usize, work: ShardWork) {
         if S::ENABLED {
             self.queue_depth[shard] += 1;
             self.sink.emit(
@@ -438,17 +517,17 @@ impl<S: TraceSink> ShardedController<S> {
                 },
             );
         }
-        self.handles[shard].send(msg);
+        self.push_work(shard, work);
     }
 
     /// Number of shards (worker threads).
     pub fn shard_count(&self) -> usize {
-        self.handles.len()
+        self.shards.len()
     }
 
     /// The routing rule: the shard owning `app` and all its containers.
     pub fn route_of(&self, app: AppId) -> usize {
-        (app.as_u64() % self.handles.len() as u64) as usize
+        (app.as_u64() % self.shards.len() as u64) as usize
     }
 
     /// Shard currently routing `container`, if the router has seen it.
@@ -486,20 +565,19 @@ impl<S: TraceSink> ShardedController<S> {
     /// any shard's reclamation sweep covers the whole cluster.
     fn broadcast_node(&mut self, node: NodeId) {
         if self.known_nodes.insert(node) {
-            for h in &self.handles {
-                h.send(ShardMsg::NoteNode { node });
+            for shard in 0..self.shards.len() {
+                self.lock_core(shard).controller.note_node(node);
             }
         }
     }
 
     /// Registers an application's global limits on its home shard.
     pub fn register_app(&mut self, app: AppId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
+        self.flush_all_columns();
         let shard = self.route_of(app);
-        self.handles[shard].send(ShardMsg::RegisterApp {
-            app,
-            cpu_limit_cores,
-            mem_limit_bytes,
-        });
+        self.lock_core(shard)
+            .controller
+            .register_app(app, cpu_limit_cores, mem_limit_bytes);
     }
 
     /// Registers a container with initial limits on its app's home
@@ -518,24 +596,24 @@ impl<S: TraceSink> ShardedController<S> {
         initial_cpu_cores: f64,
         initial_mem_bytes: u64,
     ) -> Result<(), AllocatorError> {
+        self.flush_all_columns();
         self.broadcast_node(node);
         let shard = self.route_of(app);
-        self.handles[shard].send(ShardMsg::RegisterContainer {
-            container,
-            app,
-            node,
-            initial_cpu_cores,
-            initial_mem_bytes,
-        });
-        match self.handles[shard].recv() {
-            ShardReply::Registered(result) => {
-                if result.is_ok() {
-                    self.record_container(container, shard);
-                }
-                result
-            }
-            _ => unreachable!("register replies Registered"),
+        let result = {
+            let mut core = self.lock_core(shard);
+            let ShardCore {
+                controller,
+                pending,
+                ..
+            } = &mut *core;
+            controller
+                .register_container(container, app, node, initial_cpu_cores, initial_mem_bytes)
+                .map(|actions| pending.extend(actions))
+        };
+        if result.is_ok() {
+            self.record_container(container, shard);
         }
+        result
     }
 
     /// Deregisters a container on its home shard.
@@ -544,27 +622,29 @@ impl<S: TraceSink> ShardedController<S> {
     ///
     /// Propagates [`AllocatorError::UnknownContainer`].
     pub fn deregister_container(&mut self, container: ContainerId) -> Result<(), AllocatorError> {
+        // Telemetry already accepted for this container must be applied
+        // before the deregistration, exactly as a sequential Controller
+        // would process its message sequence.
+        self.flush_all_columns();
         let shard = self.shard_for(container);
-        self.handles[shard].send(ShardMsg::Deregister { container });
-        match self.handles[shard].recv() {
-            ShardReply::Deregistered(result) => {
-                if result.is_ok() {
-                    self.clear_container(container);
-                }
-                result
-            }
-            _ => unreachable!("deregister replies Deregistered"),
+        let result = self
+            .lock_core(shard)
+            .controller
+            .deregister_container(container);
+        if result.is_ok() {
+            self.clear_container(container);
         }
+        result
     }
 
     /// Routes one inbound wire message to its home shard.
     ///
     /// The caller charges the message's wire bytes
     /// ([`ToController::wire_bytes`]) exactly once *before* routing: a
-    /// [`ToController::CpuStatsBatch`] whose entries fan out to several
-    /// shards is still one datagram on the wire — the fan-out happens
-    /// after the envelope, so per-shard sub-batches must never be
-    /// re-charged (a test in this module holds that property).
+    /// [`ToController::CpuStatsBatch`] (or columnar block) whose entries
+    /// fan out to several shards is still one datagram on the wire — the
+    /// fan-out happens after the envelope, so per-shard sub-batches must
+    /// never be re-charged (a test in this module holds that property).
     pub fn handle(&mut self, now: SimTime, msg: ToController) {
         if S::ENABLED {
             self.last_now = now;
@@ -575,18 +655,33 @@ impl<S: TraceSink> ShardedController<S> {
                 app,
                 node,
             } => {
+                self.flush_all_columns();
                 self.broadcast_node(node);
                 let shard = self.route_of(app);
-                self.handles[shard].send(ShardMsg::WireRegister {
-                    now,
-                    container,
-                    app,
-                    node,
-                });
-                if let ShardReply::Registered(result) = self.handles[shard].recv() {
-                    if result.is_ok() {
-                        self.record_container(container, shard);
-                    }
+                // Inline on the flushed core: the wire path swallows the
+                // error into `register_errors`; success means "the
+                // container now belongs to `app` on this shard", which
+                // is what the router records as the home shard.
+                let ok = {
+                    let mut core = self.lock_core(shard);
+                    let ShardCore {
+                        controller,
+                        pending,
+                        ..
+                    } = &mut *core;
+                    controller.handle_into(
+                        now,
+                        ToController::Register {
+                            container,
+                            app,
+                            node,
+                        },
+                        pending,
+                    );
+                    controller.allocator().app_of(container) == Some(app)
+                };
+                if ok {
+                    self.record_container(container, shard);
                 }
             }
             ToController::CpuStatsBatch { node, entries } => {
@@ -604,21 +699,36 @@ impl<S: TraceSink> ShardedController<S> {
                 }
                 self.ingest_cpu_batch_at(now, &entries);
             }
+            ToController::CpuStatsColumns { node, columns } => {
+                if S::ENABLED {
+                    self.sink.emit(
+                        now,
+                        TraceEventKind::BatchIngest {
+                            node: node.as_u64(),
+                            entries: columns.len() as u32,
+                        },
+                    );
+                }
+                self.ingest_cpu_columns_at(now, &columns);
+            }
             ToController::CpuStats { container, .. }
             | ToController::OomEvent { container, .. }
             | ToController::LimitAck { container, .. } => {
                 let shard = self.shard_for(container);
-                self.send_work(shard, ShardMsg::Wire { now, msg });
+                self.flush_shard_columns(shard);
+                self.send_work(shard, ShardWork::Wire { now, msg });
             }
         }
     }
 
-    /// Takes a recycled entry buffer for `shard`, or allocates one.
+    /// Takes a recycled row-batch buffer for `shard`, or allocates one.
     fn take_entry_buf(&self, shard: usize) -> Vec<CpuStatsEntry> {
-        self.handles[shard]
-            .recycle_rx
-            .try_recv()
-            .unwrap_or_default()
+        self.shards[shard].recycle_entries.pop().unwrap_or_default()
+    }
+
+    /// Takes a recycled columnar block for `shard`, or allocates one.
+    fn take_column_buf(&self, shard: usize) -> CpuStatsColumns {
+        self.shards[shard].recycle_columns.pop().unwrap_or_default()
     }
 
     /// Splits one node's telemetry batch across home shards and feeds
@@ -641,19 +751,97 @@ impl<S: TraceSink> ShardedController<S> {
             let shard = self.shard_for(e.container);
             self.split_scratch[shard].push(*e);
         }
-        for shard in 0..self.handles.len() {
+        for shard in 0..self.shards.len() {
             if self.split_scratch[shard].is_empty() {
                 continue;
             }
+            // Held columnar telemetry for this shard arrived first; it
+            // must reach the ring first.
+            self.flush_shard_columns(shard);
             let replacement = self.take_entry_buf(shard);
             let batch = std::mem::replace(&mut self.split_scratch[shard], replacement);
             self.send_work(
                 shard,
-                ShardMsg::Batch {
+                ShardWork::Batch {
                     now,
                     entries: batch,
                 },
             );
+        }
+    }
+
+    /// Splits one node's columnar telemetry block across home shards,
+    /// preserving entry order within each shard, and feeds each shard
+    /// its sub-block — the columnar counterpart of
+    /// [`ShardedController::ingest_cpu_batch`], at `SimTime::ZERO`.
+    pub fn ingest_cpu_columns(&mut self, columns: &CpuStatsColumns) {
+        self.ingest_cpu_columns_at(SimTime::ZERO, columns);
+    }
+
+    /// Time-stamped columnar ingest: like
+    /// [`ShardedController::ingest_cpu_columns`], with `now` carried to
+    /// the shard Controllers for their trace events. The per-shard
+    /// sub-blocks are recycled column buffers — no allocation crosses
+    /// the shard boundary in steady state.
+    ///
+    /// Sub-blocks below [`COALESCE_ENTRIES`] are *held* in the router's
+    /// scratch and coalesced with subsequent columnar ingests at the
+    /// same `now`, amortising the fixed per-block cost that would
+    /// otherwise grow linearly with the shard count. Held telemetry is
+    /// shipped automatically before anything that could observe or
+    /// reorder it — a routed wire message, a row batch, a tick, a
+    /// reclaim report, a drain, or a (de)registration — so each shard
+    /// still sees its message sequence in exact arrival order.
+    pub fn ingest_cpu_columns_at(&mut self, now: SimTime, columns: &CpuStatsColumns) {
+        if self.col_held > 0 && self.col_now != now {
+            self.flush_all_columns();
+        }
+        self.col_now = now;
+        for i in 0..columns.len() {
+            let container = ContainerId::new(columns.container_raw[i] as u64);
+            let shard = self.shard_for(container);
+            self.col_scratch[shard].push_raw(
+                container,
+                columns.quota_mcores[i],
+                columns.unused_us[i],
+                columns.usage_us[i],
+                columns.throttled_bit(i),
+            );
+        }
+        self.col_held += columns.len();
+        for shard in 0..self.shards.len() {
+            if self.col_scratch[shard].len() >= COALESCE_ENTRIES {
+                self.flush_shard_columns(shard);
+            }
+        }
+    }
+
+    /// Ships `shard`'s held columnar sub-block, if any.
+    fn flush_shard_columns(&mut self, shard: usize) {
+        if self.col_scratch[shard].is_empty() {
+            return;
+        }
+        let replacement = self.take_column_buf(shard);
+        let block = std::mem::replace(&mut self.col_scratch[shard], replacement);
+        self.col_held -= block.len();
+        let now = self.col_now;
+        self.send_work(
+            shard,
+            ShardWork::Columns {
+                now,
+                columns: block,
+            },
+        );
+    }
+
+    /// Ships every shard's held columnar sub-block. Cheap no-op when
+    /// nothing is held.
+    fn flush_all_columns(&mut self) {
+        if self.col_held == 0 {
+            return;
+        }
+        for shard in 0..self.shards.len() {
+            self.flush_shard_columns(shard);
         }
     }
 
@@ -664,8 +852,9 @@ impl<S: TraceSink> ShardedController<S> {
         if S::ENABLED {
             self.last_now = now;
         }
-        for shard in 0..self.handles.len() {
-            self.send_work(shard, ShardMsg::Tick { now });
+        self.flush_all_columns();
+        for shard in 0..self.shards.len() {
+            self.send_work(shard, ShardWork::Tick { now });
         }
     }
 
@@ -680,13 +869,14 @@ impl<S: TraceSink> ShardedController<S> {
         if S::ENABLED {
             self.last_now = now;
         }
+        self.flush_all_columns();
         let mut slices: Vec<Vec<ReclaimEntry>> =
-            (0..self.handles.len()).map(|_| Vec::new()).collect();
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for e in entries {
             slices[self.shard_for(e.container)].push(*e);
         }
         for (shard, entries) in slices.into_iter().enumerate() {
-            self.send_work(shard, ShardMsg::ReclaimReport { now, entries });
+            self.send_work(shard, ShardWork::ReclaimReport { now, entries });
         }
     }
 
@@ -701,7 +891,9 @@ impl<S: TraceSink> ShardedController<S> {
     /// periodic sweep at the same tick, the Agents must see (and the
     /// wire must carry) one sweep, as under a sequential Controller.
     pub fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
-        for shard in 0..self.handles.len() {
+        self.flush_all_columns();
+        self.seen_reclaims.clear();
+        for shard in 0..self.shards.len() {
             if S::ENABLED {
                 self.sink.emit(
                     self.last_now,
@@ -713,12 +905,9 @@ impl<S: TraceSink> ShardedController<S> {
                 self.queue_depth[shard] = 0;
             }
             let spare = std::mem::take(&mut self.spares[shard]);
-            self.handles[shard].send(ShardMsg::Drain { spare });
-        }
-        self.seen_reclaims.clear();
-        for shard in 0..self.handles.len() {
-            let ShardReply::Actions(mut actions) = self.handles[shard].recv() else {
-                unreachable!("drain replies Actions");
+            let mut actions = {
+                let mut core = self.lock_core(shard);
+                std::mem::replace(&mut core.pending, spare)
             };
             for a in &actions {
                 if let Action::Agent {
@@ -746,14 +935,9 @@ impl<S: TraceSink> ShardedController<S> {
         out
     }
 
-    fn query(&self, shard: usize, q: ShardQuery) -> ShardReply<S> {
-        self.handles[shard].send(ShardMsg::Query(q));
-        self.handles[shard].recv()
-    }
-
     /// Work messages queued to each shard since its last drain, in shard
     /// order. All zeros unless `S::ENABLED` (the counters exist for the
-    /// shard-channel trace events).
+    /// shard-ring trace events).
     pub fn queue_depths(&self) -> &[u32] {
         &self.queue_depth
     }
@@ -770,65 +954,68 @@ impl<S: TraceSink> ShardedController<S> {
 
     /// Lifetime counters of each shard, in shard order.
     pub fn per_shard_stats(&self) -> Vec<ControllerStats> {
-        (0..self.handles.len())
-            .map(|s| match self.query(s, ShardQuery::Stats) {
-                ShardReply::Stats(st) => st,
-                _ => unreachable!("stats query replies Stats"),
-            })
+        (0..self.shards.len())
+            .map(|s| self.lock_core(s).controller.stats())
             .collect()
     }
 
     /// The container's current CPU quota, from its home shard's books.
     pub fn quota_of(&self, container: ContainerId) -> Option<f64> {
-        match self.query(self.shard_for(container), ShardQuery::Quota(container)) {
-            ShardReply::Quota(q) => q,
-            _ => unreachable!("quota query replies Quota"),
-        }
+        self.lock_core(self.shard_for(container))
+            .controller
+            .allocator()
+            .quota_of(container)
     }
 
     /// The container's current memory limit, from its home shard's books.
     pub fn mem_limit_of(&self, container: ContainerId) -> Option<u64> {
-        match self.query(self.shard_for(container), ShardQuery::MemLimit(container)) {
-            ShardReply::MemLimit(l) => l,
-            _ => unreachable!("mem-limit query replies MemLimit"),
-        }
+        self.lock_core(self.shard_for(container))
+            .controller
+            .allocator()
+            .mem_limit_of(container)
     }
 
     /// Σ tracked CPU quotas of `app`'s containers on its home shard.
     pub fn tracked_cpu_sum(&self, app: AppId) -> f64 {
-        match self.query(self.route_of(app), ShardQuery::TrackedCpu(app)) {
-            ShardReply::F64(v) => v,
-            _ => unreachable!("tracked-cpu query replies F64"),
-        }
+        self.lock_core(self.route_of(app))
+            .controller
+            .allocator()
+            .tracked_cpu_sum(app)
     }
 
     /// Σ tracked memory limits of `app`'s containers on its home shard.
     pub fn tracked_mem_sum(&self, app: AppId) -> u64 {
-        match self.query(self.route_of(app), ShardQuery::TrackedMem(app)) {
-            ShardReply::U64(v) => v,
-            _ => unreachable!("tracked-mem query replies U64"),
-        }
+        self.lock_core(self.route_of(app))
+            .controller
+            .allocator()
+            .tracked_mem_sum(app)
     }
 
     /// A snapshot of `app`'s Distributed Container pool books.
     pub fn app_pool(&self, app: AppId) -> Option<PoolSnapshot> {
-        match self.query(self.route_of(app), ShardQuery::PoolLimits(app)) {
-            ShardReply::PoolLimits(p) => p,
-            _ => unreachable!("pool query replies PoolLimits"),
-        }
+        self.lock_core(self.route_of(app))
+            .controller
+            .allocator()
+            .app_pool(app)
+            .map(|p| PoolSnapshot {
+                cpu_limit_cores: p.cpu_limit_cores(),
+                mem_limit_bytes: p.mem_limit_bytes(),
+                allocated_cpu_cores: p.allocated_cpu_cores(),
+                allocated_mem_bytes: p.allocated_mem_bytes(),
+            })
     }
 
     /// Total memory grants awaiting an Agent ack, across shards.
     pub fn pending_grant_count(&self) -> usize {
-        (0..self.handles.len())
-            .map(|s| match self.query(s, ShardQuery::PendingGrants) {
-                ShardReply::Pending(n) => n,
-                _ => unreachable!("pending query replies Pending"),
-            })
+        (0..self.shards.len())
+            .map(|s| self.lock_core(s).controller.pending_grant_count())
             .sum()
     }
 
-    /// CPU time each shard spent inside batch ingest, in shard order.
+    /// CPU time each shard's Controller spent inside batch/columnar
+    /// ingest, in shard order — attributed to the shard whose books
+    /// were updated even when a stealing sibling (or the router's
+    /// inline flush) did the work.
     ///
     /// This is the per-shard critical path of telemetry processing: on a
     /// machine with one core per shard, aggregate ingest throughput is
@@ -837,11 +1024,8 @@ impl<S: TraceSink> ShardedController<S> {
     /// which is also meaningful on CPU-starved CI hosts where wall-clock
     /// speedups cannot materialise.
     pub fn ingest_busy_per_shard(&self) -> Vec<Duration> {
-        (0..self.handles.len())
-            .map(|s| match self.query(s, ShardQuery::IngestBusy) {
-                ShardReply::Busy(d) => d,
-                _ => unreachable!("busy query replies Busy"),
-            })
+        (0..self.shards.len())
+            .map(|s| self.lock_core(s).ingest_busy)
             .collect()
     }
 
@@ -850,23 +1034,20 @@ impl<S: TraceSink> ShardedController<S> {
     /// arriving at the wrong shard must be *rejected and counted* in
     /// `register_errors`, never silently absorbed.
     pub fn inject_wire_to_shard(&self, shard: usize, now: SimTime, msg: ToController) {
-        self.handles[shard].send(ShardMsg::Wire { now, msg });
+        self.push_work(shard, ShardWork::Wire { now, msg });
     }
 }
 
 impl<S: TraceSink> Drop for ShardedController<S> {
     fn drop(&mut self) {
-        for h in &self.handles {
-            // The worker may already be gone if it panicked; join below
-            // will surface that.
-            let _ = h.tx.send(ShardMsg::Shutdown);
+        self.shutdown.store(true, Ordering::Release);
+        for w in &self.workers {
+            w.thread().unpark();
         }
-        for h in &mut self.handles {
-            if let Some(join) = h.join.take() {
-                if let Err(panic) = join.join() {
-                    if !std::thread::panicking() {
-                        std::panic::resume_unwind(panic);
-                    }
+        for w in self.workers.drain(..) {
+            if let Err(panic) = w.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(panic);
                 }
             }
         }
@@ -1080,6 +1261,95 @@ mod tests {
         }
         let sharded_actions = sharded.drain_actions();
         assert_eq!(seq_actions, sharded_actions);
+        assert_eq!(seq.stats(), sharded.stats());
+    }
+
+    #[test]
+    fn columnar_ingest_matches_row_batch_ingest_across_shards() {
+        // The same telemetry stream fed as columnar blocks and as row
+        // batches must produce identical actions and stats, shard count
+        // notwithstanding — the sharded face of the columnar identity.
+        for n_shards in [1usize, 3] {
+            let mut by_rows = sharded_with_apps(n_shards, 4, 2);
+            let mut by_cols = sharded_with_apps(n_shards, 4, 2);
+            by_rows.drain_actions();
+            by_cols.drain_actions();
+            for round in 0..12u64 {
+                let now = SimTime::from_millis(round * 100);
+                let entries: Vec<CpuStatsEntry> = (0..8u64)
+                    .map(|i| CpuStatsEntry {
+                        container: ContainerId::new(i),
+                        stats: if (round + i) % 3 == 0 {
+                            throttled(1.0)
+                        } else {
+                            CpuPeriodStats {
+                                quota_cores: 1.0,
+                                usage_us: 30_000.0,
+                                unused_runtime_us: 70_000.0,
+                                throttled: false,
+                            }
+                        },
+                    })
+                    .collect();
+                let columns = CpuStatsColumns::from_entries(&entries);
+                // Quantization is lossless for these values, so the two
+                // forms carry identical statistics.
+                assert_eq!(columns.to_entries(), entries);
+                by_rows.handle(
+                    now,
+                    ToController::CpuStatsBatch {
+                        node: NodeId::new(0),
+                        entries,
+                    },
+                );
+                by_cols.handle(
+                    now,
+                    ToController::CpuStatsColumns {
+                        node: NodeId::new(0),
+                        columns,
+                    },
+                );
+            }
+            assert_eq!(by_rows.drain_actions(), by_cols.drain_actions());
+            assert_eq!(by_rows.stats(), by_cols.stats());
+        }
+    }
+
+    #[test]
+    fn skewed_routing_stays_correct_with_idle_shards() {
+        // Every app hashes to shard 0 (app ids ≡ 0 mod 4): three shards
+        // sit idle and are free to steal, and the result must still be
+        // decision-for-decision identical to a sequential Controller.
+        let mut seq = Controller::new(EscraConfig::default());
+        let mut sharded = ShardedController::new(EscraConfig::default(), 4);
+        for a in [0u64, 4, 8] {
+            seq.register_app(AppId::new(a), 8.0, 1024 * MIB);
+            sharded.register_app(AppId::new(a), 8.0, 1024 * MIB);
+            assert_eq!(sharded.route_of(AppId::new(a)), 0, "skew by construction");
+        }
+        let mut seq_actions = Vec::new();
+        for c in 0..6u64 {
+            let app = AppId::new((c % 3) * 4);
+            seq_actions.extend(
+                seq.register_container(ContainerId::new(c), app, NodeId::new(0), 1.0, 64 * MIB)
+                    .unwrap(),
+            );
+            sharded
+                .register_container(ContainerId::new(c), app, NodeId::new(0), 1.0, 64 * MIB)
+                .unwrap();
+        }
+        for round in 0..40u64 {
+            let now = SimTime::from_millis(round * 100);
+            let entries: Vec<CpuStatsEntry> = (0..6u64)
+                .map(|c| CpuStatsEntry {
+                    container: ContainerId::new(c),
+                    stats: throttled(seq.allocator().quota_of(ContainerId::new(c)).unwrap()),
+                })
+                .collect();
+            seq.ingest_cpu_batch_at(now, &entries, &mut seq_actions);
+            sharded.ingest_cpu_batch_at(now, &entries);
+        }
+        assert_eq!(seq_actions, sharded.drain_actions());
         assert_eq!(seq.stats(), sharded.stats());
     }
 

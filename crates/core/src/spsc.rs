@@ -1,0 +1,179 @@
+//! A bounded single-producer/single-consumer ring buffer (Lamport
+//! queue) for the sharded Controller's router → worker work path and
+//! the worker → router buffer-recycle path.
+//!
+//! Push and pop are one unaligned write/read plus one Release store
+//! each — no locks, no allocation, no syscalls — which is what lets a
+//! recycled column block cross the shard boundary for a few
+//! nanoseconds instead of an mpsc send.
+//!
+//! ## Roles, not threads
+//!
+//! The "single producer" and "single consumer" are *roles*: correctness
+//! requires that at any moment at most one thread pushes and at most
+//! one thread pops, and that successive holders of a role are ordered
+//! by a happens-before edge. The sharded Controller maintains this
+//! structurally:
+//!
+//! * work rings: the router thread is the only pusher; poppers (the
+//!   owning worker, a work-stealing sibling, or the router itself when
+//!   it needs a shard flushed) all hold the shard's core mutex while
+//!   popping, which serializes them and carries the edge.
+//! * recycle rings: pushers hold the same core mutex; the router thread
+//!   is the only popper.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The ring. Capacity is fixed at construction and rounded up to a
+/// power of two internally.
+pub(crate) struct SpscRing<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot to pop (free-running; masked on access).
+    head: AtomicUsize,
+    /// Next slot to push (free-running; masked on access).
+    tail: AtomicUsize,
+}
+
+// SAFETY: the ring hands each `T` from exactly one pusher to exactly
+// one popper (see module docs); the atomics order the slot accesses.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring holding at least `capacity` items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buf = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpscRing {
+            buf,
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pushes `value`, or returns it when the ring is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            return Err(value);
+        }
+        // SAFETY: the slot at `tail` is outside [head, tail), so no
+        // concurrent popper reads it; we are the only pusher.
+        unsafe { (*self.buf[tail & self.mask].get()).write(value) };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Pops the oldest item, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: head != tail means the slot was fully written before
+        // the pusher's Release store to `tail`; we are the only popper.
+        let value = unsafe { (*self.buf[head & self.mask].get()).assume_init_read() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// True when the ring held no items at the moment of the check.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
+    }
+
+    /// Number of items in the ring at the moment of the check (exact
+    /// for the producer; a snapshot for anyone else).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Items still in flight (e.g. work queued at shutdown after the
+        // final drain) own heap buffers; drain them properly.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let ring = SpscRing::with_capacity(4);
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.push(99), Err(99), "full ring rejects");
+        for i in 0..4 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let ring = SpscRing::with_capacity(2);
+        for i in 0..1000 {
+            ring.push(i).unwrap();
+            assert_eq!(ring.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_releases_undrained_items() {
+        let item = Arc::new(());
+        {
+            let ring = SpscRing::with_capacity(8);
+            for _ in 0..5 {
+                ring.push(Arc::clone(&item)).unwrap();
+            }
+            ring.pop();
+        }
+        assert_eq!(Arc::strong_count(&item), 1, "ring drop freed its items");
+    }
+
+    #[test]
+    fn cross_thread_handoff_delivers_everything_in_order() {
+        let ring = Arc::new(SpscRing::with_capacity(16));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut next = 0u64;
+                while next < 10_000 {
+                    if let Some(v) = ring.pop() {
+                        assert_eq!(v, next);
+                        next += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        let mut v = 0u64;
+        while v < 10_000 {
+            if ring.push(v).is_ok() {
+                v += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        consumer.join().unwrap();
+    }
+}

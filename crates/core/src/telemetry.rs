@@ -47,6 +47,150 @@ pub struct CpuStatsEntry {
     pub stats: CpuPeriodStats,
 }
 
+/// Struct-of-arrays wire form of one node's telemetry batch (§VI-I
+/// columnar ingest): four parallel fixed-point integer columns plus a
+/// packed throttle bitset, replacing the per-entry `f64`+`bool` struct
+/// of [`CpuStatsEntry`].
+///
+/// Fixed-point encoding (every field exactly representable in f64, so
+/// the row form [`CpuStatsColumns::entry`] reconstructs is canonical):
+///
+/// * `container_raw` — the raw container id (`ContainerId::as_u64`,
+///   which the deployer allocates densely from 0, far below 2³²).
+/// * `quota_mcores` — quota in millicores ([`escra_cfs::cpu::MCORES_PER_CORE`]).
+/// * `unused_us` / `usage_us` — whole core-microseconds per period.
+/// * `throttled` — one bit per entry, packed LSB-first into u64 words.
+///
+/// Entry order (the Agent's collection order) is significant, exactly
+/// as in [`ToController::CpuStatsBatch`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStatsColumns {
+    /// Raw container ids, one per entry.
+    pub container_raw: Vec<u32>,
+    /// CPU quota at period end, in millicores.
+    pub quota_mcores: Vec<u32>,
+    /// Unused runtime at the period boundary, in core-microseconds.
+    pub unused_us: Vec<u32>,
+    /// CPU consumed this period, in core-microseconds.
+    pub usage_us: Vec<u32>,
+    /// Throttle flags, packed LSB-first: entry `i` is bit `i % 64` of
+    /// word `i / 64`. Trailing bits of the last word are zero.
+    pub throttled: Vec<u64>,
+}
+
+impl CpuStatsColumns {
+    /// An empty column block.
+    pub fn new() -> Self {
+        CpuStatsColumns::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.container_raw.len()
+    }
+
+    /// True when the block holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.container_raw.is_empty()
+    }
+
+    /// Clears all columns, retaining capacity (the recycled-block
+    /// contract of the sharded ingest path).
+    pub fn clear(&mut self) {
+        self.container_raw.clear();
+        self.quota_mcores.clear();
+        self.unused_us.clear();
+        self.usage_us.clear();
+        self.throttled.clear();
+    }
+
+    /// Appends one entry in raw fixed-point form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `container.as_u64()` exceeds `u32::MAX` (the deployer
+    /// allocates ids densely from zero; the columnar form trades the
+    /// unused upper half of the id for wire width).
+    pub fn push_raw(
+        &mut self,
+        container: ContainerId,
+        quota_mcores: u32,
+        unused_us: u32,
+        usage_us: u32,
+        throttled: bool,
+    ) {
+        let raw = container.as_u64();
+        assert!(
+            raw <= u32::MAX as u64,
+            "container id {raw} exceeds the columnar u32 id space"
+        );
+        let i = self.container_raw.len();
+        self.container_raw.push(raw as u32);
+        self.quota_mcores.push(quota_mcores);
+        self.unused_us.push(unused_us);
+        self.usage_us.push(usage_us);
+        if i.is_multiple_of(64) {
+            self.throttled.push(0);
+        }
+        if throttled {
+            self.throttled[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+
+    /// Appends one entry, quantizing the row form's f64 fields
+    /// ([`CpuPeriodStats::to_fixed_point`]).
+    pub fn push(&mut self, container: ContainerId, stats: &CpuPeriodStats) {
+        let (quota_mcores, unused_us, usage_us, throttled) = stats.to_fixed_point();
+        self.push_raw(container, quota_mcores, unused_us, usage_us, throttled);
+    }
+
+    /// The throttle bit of entry `i`.
+    #[inline]
+    pub fn throttled_bit(&self, i: usize) -> bool {
+        (self.throttled[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Entry `i` in row form — the canonical meaning of the columns:
+    /// columnar ingest of a block is defined (and property-tested) to be
+    /// decision-for-decision identical to batch ingest of
+    /// `(0..len).map(|i| entry(i))`.
+    pub fn entry(&self, i: usize) -> CpuStatsEntry {
+        CpuStatsEntry {
+            container: ContainerId::new(self.container_raw[i] as u64),
+            stats: CpuPeriodStats::from_fixed_point(
+                self.quota_mcores[i],
+                self.unused_us[i],
+                self.usage_us[i],
+                self.throttled_bit(i),
+            ),
+        }
+    }
+
+    /// All entries in row form, in entry order.
+    pub fn to_entries(&self) -> Vec<CpuStatsEntry> {
+        (0..self.len()).map(|i| self.entry(i)).collect()
+    }
+
+    /// Builds a block by quantizing row-form entries.
+    pub fn from_entries(entries: &[CpuStatsEntry]) -> Self {
+        let mut cols = CpuStatsColumns::new();
+        cols.reserve(entries.len());
+        for e in entries {
+            cols.push(e.container, &e.stats);
+        }
+        cols
+    }
+
+    /// Reserves capacity for `n` additional entries in every column.
+    pub fn reserve(&mut self, n: usize) {
+        self.container_raw.reserve(n);
+        self.quota_mcores.reserve(n);
+        self.unused_us.reserve(n);
+        self.usage_us.reserve(n);
+        self.throttled.reserve(n.div_ceil(64));
+    }
+}
+
 /// Messages flowing from worker nodes to the Controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ToController {
@@ -79,6 +223,17 @@ pub enum ToController {
         node: NodeId,
         /// Per-container statistics, in the Agent's collection order.
         entries: Vec<CpuStatsEntry>,
+    },
+    /// One node's end-of-period statistics as a columnar
+    /// (struct-of-arrays) datagram — the §VI-I fast path. Semantically
+    /// identical to [`ToController::CpuStatsBatch`] carrying
+    /// `columns.to_entries()`, and charged the same wire bytes: the
+    /// layout changes, the payload does not.
+    CpuStatsColumns {
+        /// The reporting node.
+        node: NodeId,
+        /// Per-container statistic columns, in collection order.
+        columns: CpuStatsColumns,
     },
     /// The `try_charge()` hook trapped an imminent OOM (TCP).
     OomEvent {
@@ -115,6 +270,11 @@ impl ToController {
                 CPU_STATS_HEADER_BYTES,
                 CPU_STATS_ENTRY_BYTES,
                 entries.len() as u64,
+            ),
+            ToController::CpuStatsColumns { columns, .. } => batch_wire_bytes(
+                CPU_STATS_HEADER_BYTES,
+                CPU_STATS_ENTRY_BYTES,
+                columns.len() as u64,
             ),
             ToController::OomEvent { .. } => OOM_EVENT_WIRE_BYTES,
             // Already charged as part of the update RPC pair.
@@ -238,6 +398,82 @@ mod tests {
             seq: 7,
         };
         assert_eq!(ack.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn columnar_batch_is_charged_like_the_row_batch() {
+        // The columnar form is a layout change, not a payload change:
+        // its wire accounting must be indistinguishable from the row
+        // batch so §VI-I overhead numbers cannot drift with the ingest
+        // path chosen.
+        let mut cols = CpuStatsColumns::new();
+        for i in 0..32u64 {
+            cols.push_raw(ContainerId::new(i), 1000, 0, 50_000, i % 3 == 0);
+        }
+        let msg = ToController::CpuStatsColumns {
+            node: NodeId::new(0),
+            columns: cols.clone(),
+        };
+        assert_eq!(
+            msg.wire_bytes(),
+            CPU_STATS_HEADER_BYTES + 32 * CPU_STATS_ENTRY_BYTES
+        );
+        let rows = ToController::CpuStatsBatch {
+            node: NodeId::new(0),
+            entries: cols.to_entries(),
+        };
+        assert_eq!(msg.wire_bytes(), rows.wire_bytes());
+    }
+
+    #[test]
+    fn columns_round_trip_fixed_point_rows() {
+        let entries: Vec<CpuStatsEntry> = (0..130u64)
+            .map(|i| CpuStatsEntry {
+                container: ContainerId::new(i),
+                stats: CpuPeriodStats::from_fixed_point(
+                    (i * 37 % 5000) as u32,
+                    (i * 911 % 100_000) as u32,
+                    (i * 733 % 100_000) as u32,
+                    i % 5 == 0,
+                ),
+            })
+            .collect();
+        let cols = CpuStatsColumns::from_entries(&entries);
+        assert_eq!(cols.len(), entries.len());
+        // Bitset packing crosses two word boundaries at 130 entries.
+        assert_eq!(cols.throttled.len(), 3);
+        assert_eq!(cols.to_entries(), entries);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(cols.entry(i), *e);
+            assert_eq!(cols.throttled_bit(i), e.stats.throttled);
+        }
+        let mut recycled = cols.clone();
+        recycled.clear();
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.throttled.len(), 0);
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest_unit() {
+        let stats = CpuPeriodStats {
+            quota_cores: 1.2345678,
+            unused_runtime_us: 41_999.5001,
+            usage_us: 58_000.4999,
+            throttled: false,
+        };
+        let (q, un, us, t) = stats.to_fixed_point();
+        assert_eq!((q, un, us, t), (1235, 42_000, 58_000, false));
+        // Out-of-range and non-finite inputs saturate instead of
+        // wrapping: a hostile or corrupted report cannot alias to a
+        // small value.
+        let wild = CpuPeriodStats {
+            quota_cores: -3.0,
+            unused_runtime_us: 1e18,
+            usage_us: f64::NAN,
+            throttled: true,
+        };
+        let (q, un, us, t) = wild.to_fixed_point();
+        assert_eq!((q, un, us, t), (0, u32::MAX, 0, true));
     }
 
     #[test]

@@ -168,6 +168,12 @@ pub struct MicroSimConfig {
     pub physics: SimPhysics,
     /// Optional per-node telemetry cadence (event engine only).
     pub report_plan: Option<ReportPlan>,
+    /// Emit per-node telemetry as columnar `CpuStatsColumns` blocks
+    /// instead of row-form `CpuStatsBatch` datagrams. Off by default:
+    /// the columnar wire form quantises statistics to integer
+    /// microseconds, which is exact for CFS-shaped telemetry but not
+    /// bit-identical to the committed row-form experiment physics.
+    pub columnar_telemetry: bool,
 }
 
 impl MicroSimConfig {
@@ -187,6 +193,7 @@ impl MicroSimConfig {
             engine: SimEngine::default(),
             physics: SimPhysics::default(),
             report_plan: None,
+            columnar_telemetry: false,
         }
     }
 
@@ -217,6 +224,13 @@ impl MicroSimConfig {
     /// Sets the per-node telemetry cadence (builder style).
     pub fn with_report_plan(mut self, plan: ReportPlan) -> Self {
         self.report_plan = Some(plan);
+        self
+    }
+
+    /// Switches per-node telemetry to the columnar wire form (builder
+    /// style). See [`MicroSimConfig::columnar_telemetry`].
+    pub fn with_columnar_telemetry(mut self, columnar: bool) -> Self {
+        self.columnar_telemetry = columnar;
         self
     }
 }
@@ -1262,14 +1276,26 @@ impl<'a> Sim<'a> {
             }
             let entries = std::mem::take(&mut self.pending_stats[node]);
             let node_id = NodeId::new(node as u64);
+            // Columnar and row form carry the same per-entry wire bytes,
+            // so the §VI-I accounting is identical either way; the
+            // columnar form additionally quantises stats to integer µs
+            // (exact for CFS-shaped values), hence the opt-in.
+            let msg = if self.cfg.columnar_telemetry {
+                ToController::CpuStatsColumns {
+                    node: node_id,
+                    columns: escra_core::CpuStatsColumns::from_entries(&entries),
+                }
+            } else {
+                ToController::CpuStatsBatch {
+                    node: node_id,
+                    entries,
+                }
+            };
             net.send(
                 now,
                 node_addr(node_id),
                 controller_addr(),
-                Envelope::ToCtl(ToController::CpuStatsBatch {
-                    node: node_id,
-                    entries,
-                }),
+                Envelope::ToCtl(msg),
                 accountant,
             );
             pump_control_plane(
@@ -1815,6 +1841,24 @@ mod tests {
         let b = run(&quick_cfg(Policy::escra_default()));
         assert_eq!(digest(&a), digest(&b));
         assert_eq!(a.sim, b.sim);
+    }
+
+    #[test]
+    fn columnar_telemetry_runs_are_deterministic_and_healthy() {
+        let cfg = quick_cfg(Policy::escra_default()).with_columnar_telemetry(true);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(digest(&a), digest(&b), "columnar runs must be reproducible");
+        // The columnar wire form changes the encoding, not the cadence:
+        // the Controller ingests exactly as many period reports as the
+        // row-form run, absorbs all OOMs, and serves the workload.
+        let rows = run(&quick_cfg(Policy::escra_default()));
+        assert_eq!(
+            a.controller_stats.as_ref().unwrap().cpu_stats_ingested,
+            rows.controller_stats.as_ref().unwrap().cpu_stats_ingested
+        );
+        assert_eq!(a.metrics.oom_kills, 0);
+        assert!(a.metrics.latency.successes() > 1_500);
     }
 
     #[test]

@@ -239,6 +239,18 @@ fn encode_to_ctl(m: &ToController, out: &mut Vec<u8>) {
                 encode_stats(&e.stats, out);
             }
         }
+        ToController::CpuStatsColumns { node, columns } => {
+            out.push(5);
+            out.extend(node.as_u64().to_le_bytes());
+            out.extend((columns.len() as u64).to_le_bytes());
+            for i in 0..columns.len() {
+                out.extend((columns.container_raw[i] as u64).to_le_bytes());
+                out.extend(columns.quota_mcores[i].to_le_bytes());
+                out.extend(columns.unused_us[i].to_le_bytes());
+                out.extend(columns.usage_us[i].to_le_bytes());
+                out.push(columns.throttled_bit(i) as u8);
+            }
+        }
         ToController::OomEvent {
             container,
             shortfall_bytes,

@@ -48,5 +48,5 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::timeseries::TimeSeries;
-    pub use crate::window::SlidingWindow;
+    pub use crate::window::{BitWindow, InlineWindow, SlidingWindow};
 }

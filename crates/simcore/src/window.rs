@@ -5,9 +5,25 @@
 //! runtime over the last `n` CFS periods (paper §IV-D1). [`SlidingWindow`]
 //! provides exactly that in O(1) per update.
 
-use std::collections::VecDeque;
+/// Evictions between drift-guard re-sums of the incremental running sum.
+///
+/// The compensated (Neumaier) accumulator keeps the running sum within
+/// one ULP of a fresh re-sum (a property test in this module holds that
+/// bound), so the periodic re-scan exists only as a backstop against
+/// pathological cancellation — it can be orders of magnitude rarer than
+/// the old once-per-`capacity`-evictions scan that dominated the
+/// allocator's ingest hot loop.
+///
+/// Public so downstream plain-sum rings (the allocator's fused decision
+/// windows) resum on exactly the same schedule as [`InlineWindow`].
+pub const RESUM_INTERVAL: u32 = 4096;
 
 /// A sliding window over the last `capacity` samples with O(1) mean/sum.
+///
+/// Storage is a flat ring (no `VecDeque` head/tail masking in the hot
+/// path) and the sum is maintained incrementally with Neumaier
+/// compensation: each push costs two compensated accumulations instead
+/// of a periodic O(capacity) re-scan.
 ///
 /// ```
 /// use escra_simcore::window::SlidingWindow;
@@ -20,10 +36,16 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
-    samples: VecDeque<f64>,
-    capacity: usize,
+    /// Ring storage; grows to `capacity` then overwrites at `head`.
+    buf: Vec<f64>,
+    /// Index of the oldest retained sample (0 while filling).
+    head: u32,
+    capacity: u32,
+    /// Compensated running sum of the retained samples.
     sum: f64,
-    evictions_since_resum: usize,
+    /// Neumaier compensation term; the represented sum is `sum + comp`.
+    comp: f64,
+    evictions_since_resum: u32,
 }
 
 impl SlidingWindow {
@@ -34,38 +56,389 @@ impl SlidingWindow {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
+        assert!(capacity <= u32::MAX as usize, "window capacity too large");
         SlidingWindow {
-            samples: VecDeque::with_capacity(capacity),
-            capacity,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity: capacity as u32,
             sum: 0.0,
+            comp: 0.0,
             evictions_since_resum: 0,
         }
     }
 
-    /// Adds a sample, evicting the oldest when full.
-    pub fn push(&mut self, value: f64) {
-        if self.samples.len() == self.capacity {
-            if let Some(old) = self.samples.pop_front() {
-                self.sum -= old;
-            }
-            self.evictions_since_resum += 1;
+    /// One compensated accumulation: adds `v` into `sum`, capturing the
+    /// exact rounding error of the add in `comp` (Neumaier's variant of
+    /// Kahan summation, correct for both |sum| ≥ |v| and |sum| < |v|).
+    #[inline]
+    fn accumulate(&mut self, v: f64) {
+        // Branchless variant of the textbook `if |sum| >= |v|` form:
+        // select big/small by magnitude (compiles to f64 cmov/minmax,
+        // no unpredictable branch in the allocator's per-entry loop) —
+        // `(big - t) + small` is bit-identical to the branched error
+        // term on both sides of the comparison.
+        let t = self.sum + v;
+        let sum_is_big = self.sum.abs() >= v.abs();
+        let big = if sum_is_big { self.sum } else { v };
+        let small = if sum_is_big { v } else { self.sum };
+        self.comp += (big - t) + small;
+        self.sum = t;
+    }
+
+    /// Re-derives the compensated sum from the retained samples
+    /// (oldest first, matching [`SlidingWindow::samples`] order).
+    fn resum(&mut self) {
+        self.sum = 0.0;
+        self.comp = 0.0;
+        let head = self.head as usize;
+        for i in 0..self.buf.len() {
+            let idx = head + i;
+            let idx = if idx >= self.buf.len() {
+                idx - self.buf.len()
+            } else {
+                idx
+            };
+            self.accumulate(self.buf[idx]);
         }
-        self.samples.push_back(value);
-        self.sum += value;
-        // Re-sum every `capacity` evictions to bound floating-point
-        // drift regardless of the window's mean.
-        if self.evictions_since_resum >= self.capacity {
-            self.sum = self.samples.iter().sum();
-            self.evictions_since_resum = 0;
+        self.evictions_since_resum = 0;
+    }
+
+    /// Adds a sample, evicting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        if self.buf.len() < self.capacity as usize {
+            self.buf.push(value);
+            self.accumulate(value);
+            return;
+        }
+        let head = self.head as usize;
+        let old = std::mem::replace(&mut self.buf[head], value);
+        self.head = if head + 1 == self.capacity as usize {
+            0
+        } else {
+            self.head + 1
+        };
+        self.accumulate(value);
+        self.accumulate(-old);
+        self.evictions_since_resum += 1;
+        if self.evictions_since_resum >= RESUM_INTERVAL {
+            self.resum();
         }
     }
 
     /// Mean of the retained samples (0.0 when empty).
+    #[inline]
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.buf.is_empty() {
             0.0
         } else {
-            self.sum / self.samples.len() as f64
+            (self.sum + self.comp) / self.buf.len() as f64
+        }
+    }
+
+    /// Sum of the retained samples.
+    pub fn sum(&self) -> f64 {
+        self.sum + self.comp
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no samples have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True when the window holds `capacity` samples.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity as usize
+    }
+
+    /// Largest retained sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.buf.iter().copied().fold(None, |acc, x| {
+            Some(match acc {
+                None => x,
+                Some(m) => m.max(x),
+            })
+        })
+    }
+
+    /// Most recent sample (`None` when empty).
+    pub fn last(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else if self.buf.len() < self.capacity as usize {
+            self.buf.last().copied()
+        } else {
+            let head = self.head as usize;
+            let idx = if head == 0 {
+                self.buf.len() - 1
+            } else {
+                head - 1
+            };
+            Some(self.buf[idx])
+        }
+    }
+
+    /// Iterates the retained samples, oldest first.
+    ///
+    /// Exposed so canonical state hashing (the `escra-mc` model checker)
+    /// can fingerprint the exact window contents — aggregate views like
+    /// [`SlidingWindow::sum`] cannot distinguish permuted histories that
+    /// diverge later through eviction order.
+    pub fn samples(&self) -> impl Iterator<Item = f64> + '_ {
+        let head = self.head as usize;
+        self.buf[head..]
+            .iter()
+            .chain(self.buf[..head].iter())
+            .copied()
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.sum = 0.0;
+        self.comp = 0.0;
+        self.evictions_since_resum = 0;
+    }
+}
+
+/// A sliding window over the last `capacity` 0/1 indicator samples,
+/// packed one bit per sample with an incrementally maintained popcount.
+///
+/// This is the throttle-rate window of the allocator hot loop in its
+/// cheapest possible form: a push is a masked bit store plus two integer
+/// adds — no heap indirection, no floating-point accumulation. The mean
+/// is **bit-identical** to a [`SlidingWindow`] fed the same stream as
+/// `0.0`/`1.0` samples: every partial sum of small integers is exact in
+/// f64 (the Neumaier compensation term is provably zero), so both
+/// structures compute the same `ones as f64 / len as f64` division.
+#[derive(Debug, Clone)]
+pub struct BitWindow {
+    /// Bit ring, LSB-first; sample `i` (in ring position, not age) is
+    /// bit `i` of the word.
+    bits: u64,
+    /// Popcount of the retained samples.
+    ones: u16,
+    /// Retained sample count (`< cap` while filling).
+    len: u16,
+    /// Ring position of the oldest retained sample once full.
+    head: u16,
+    cap: u16,
+}
+
+impl BitWindow {
+    /// Largest supported window, bounded so the whole ring is one word
+    /// inline in the allocator's per-container track.
+    pub const MAX_CAPACITY: usize = 64;
+
+    /// Creates a window keeping the last `capacity` indicator samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds
+    /// [`BitWindow::MAX_CAPACITY`].
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(
+            capacity <= BitWindow::MAX_CAPACITY,
+            "BitWindow supports at most {} periods",
+            BitWindow::MAX_CAPACITY
+        );
+        BitWindow {
+            bits: 0,
+            ones: 0,
+            len: 0,
+            head: 0,
+            cap: capacity as u16,
+        }
+    }
+
+    #[inline]
+    fn bit(&self, pos: usize) -> bool {
+        (self.bits >> pos) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, pos: usize, value: bool) {
+        self.bits = (self.bits & !(1u64 << pos)) | ((value as u64) << pos);
+    }
+
+    /// Adds an indicator sample, evicting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, value: bool) {
+        if self.len < self.cap {
+            // Filling phase appends in ring order, exactly like
+            // [`SlidingWindow::push`] appends to its buffer.
+            let pos = self.len as usize;
+            self.set_bit(pos, value);
+            self.ones += value as u16;
+            self.len += 1;
+            return;
+        }
+        let head = self.head as usize;
+        let old = self.bit(head);
+        self.set_bit(head, value);
+        self.ones += value as u16;
+        self.ones -= old as u16;
+        self.head = if head + 1 == self.cap as usize {
+            0
+        } else {
+            self.head + 1
+        };
+    }
+
+    /// Mean of the retained indicators (0.0 when empty) — the throttle
+    /// *rate* over the window.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.ones as f64 / self.len as f64
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no samples have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the retained indicators, oldest first (the fingerprint
+    /// order shared with [`SlidingWindow::samples`]).
+    pub fn samples(&self) -> impl Iterator<Item = bool> + '_ {
+        let (head, len) = (self.head as usize, self.len as usize);
+        let cap = self.cap as usize;
+        (0..len).map(move |i| {
+            let pos = if len < cap { i } else { (head + i) % cap };
+            self.bit(pos)
+        })
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+        self.ones = 0;
+        self.len = 0;
+        self.head = 0;
+    }
+}
+
+/// A [`SlidingWindow`] specialised for the allocator's per-container
+/// telemetry hot loop: the ring lives inline in the struct (no heap
+/// indirection) and the running sum is a plain two-add update instead
+/// of Neumaier compensation, cutting the serial FP dependency chain of
+/// a push roughly in half.
+///
+/// The accuracy trade is deliberate and bounded. The running sum can
+/// drift from the exact sum by an ulp per eviction; a full re-summation
+/// every [`RESUM_INTERVAL`] evictions resets the drift, so the error
+/// never exceeds a few thousand ulps (relative error ~1e-13) — far
+/// inside the tolerance of threshold comparisons against γ-scale
+/// margins. Streams of exactly-representable values (integers, zeros —
+/// everything the model checker and the 0/1 indicator paths feed) are
+/// summed **exactly**, drift-free, just like the compensated window.
+#[derive(Debug, Clone)]
+#[repr(C)]
+pub struct InlineWindow {
+    // Hot scalars first (`repr(C)` keeps them, and the first few ring
+    // entries a short window actually uses, on the leading cache line).
+    /// Plain running sum of the retained samples.
+    sum: f64,
+    /// Retained sample count (`< cap` while filling).
+    len: u16,
+    /// Index of the oldest retained sample (0 while filling).
+    head: u16,
+    cap: u16,
+    evictions_since_resum: u16,
+    buf: [f64; InlineWindow::MAX_CAPACITY],
+}
+
+impl InlineWindow {
+    /// Largest supported window — sized for the allocator's decision
+    /// windows (paper default 5 periods; the ablation sweep probes up
+    /// to 20), not for general statistics.
+    pub const MAX_CAPACITY: usize = 24;
+
+    /// Creates a window keeping the last `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds
+    /// [`InlineWindow::MAX_CAPACITY`].
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(
+            capacity <= InlineWindow::MAX_CAPACITY,
+            "InlineWindow supports at most {} periods",
+            InlineWindow::MAX_CAPACITY
+        );
+        InlineWindow {
+            sum: 0.0,
+            len: 0,
+            head: 0,
+            cap: capacity as u16,
+            evictions_since_resum: 0,
+            buf: [0.0; InlineWindow::MAX_CAPACITY],
+        }
+    }
+
+    /// Fresh exact re-summation, oldest first — the drift guard.
+    fn resum(&mut self) {
+        self.sum = 0.0;
+        let (head, len) = (self.head as usize, self.len as usize);
+        for i in 0..len {
+            let idx = head + i;
+            let idx = if idx >= len { idx - len } else { idx };
+            self.sum += self.buf[idx];
+        }
+        self.evictions_since_resum = 0;
+    }
+
+    /// Adds a sample, evicting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        if self.len < self.cap {
+            self.buf[self.len as usize] = value;
+            self.len += 1;
+            self.sum += value;
+            return;
+        }
+        let head = self.head as usize;
+        // SAFETY: `head < cap <= MAX_CAPACITY` is a constructor-checked
+        // invariant maintained by the wrap below; the steady-state push
+        // is the allocator's hottest load, so the bound is not re-proved
+        // per call.
+        let slot = unsafe { self.buf.get_unchecked_mut(head) };
+        let old = std::mem::replace(slot, value);
+        self.head = if head + 1 == self.cap as usize {
+            0
+        } else {
+            self.head + 1
+        };
+        self.sum += value - old;
+        self.evictions_since_resum += 1;
+        if self.evictions_since_resum >= RESUM_INTERVAL as u16 {
+            self.resum();
+        }
+    }
+
+    /// Mean of the retained samples (0.0 when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.sum / self.len as f64
         }
     }
 
@@ -76,47 +449,27 @@ impl SlidingWindow {
 
     /// Number of retained samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.len as usize
     }
 
     /// True when no samples have been pushed yet.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// True when the window holds `capacity` samples.
-    pub fn is_full(&self) -> bool {
-        self.samples.len() == self.capacity
-    }
-
-    /// Largest retained sample (`None` when empty).
-    pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().fold(None, |acc, x| {
-            Some(match acc {
-                None => x,
-                Some(m) => m.max(x),
-            })
-        })
-    }
-
-    /// Most recent sample (`None` when empty).
-    pub fn last(&self) -> Option<f64> {
-        self.samples.back().copied()
+        self.len == 0
     }
 
     /// Iterates the retained samples, oldest first.
-    ///
-    /// Exposed so canonical state hashing (the `escra-mc` model checker)
-    /// can fingerprint the exact window contents — aggregate views like
-    /// [`SlidingWindow::sum`] cannot distinguish permuted histories that
-    /// diverge later through eviction order.
     pub fn samples(&self) -> impl Iterator<Item = f64> + '_ {
-        self.samples.iter().copied()
+        let (head, len) = (self.head as usize, self.len as usize);
+        self.buf[..len][head..]
+            .iter()
+            .chain(self.buf[..head].iter())
+            .copied()
     }
 
     /// Discards all samples.
     pub fn clear(&mut self) {
-        self.samples.clear();
+        self.len = 0;
+        self.head = 0;
         self.sum = 0.0;
         self.evictions_since_resum = 0;
     }
@@ -155,6 +508,7 @@ impl DecayingMax {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn mean_over_partial_window() {
@@ -177,6 +531,7 @@ mod tests {
         assert!((w.mean() - 11.0).abs() < 1e-12);
         assert_eq!(w.max(), Some(20.0));
         assert_eq!(w.last(), Some(20.0));
+        assert_eq!(w.samples().collect::<Vec<_>>(), vec![3.0, 10.0, 20.0]);
     }
 
     #[test]
@@ -196,6 +551,10 @@ mod tests {
         w.clear();
         assert!(w.is_empty());
         assert_eq!(w.sum(), 0.0);
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        assert_eq!(w.samples().collect::<Vec<_>>(), vec![2.0, 3.0]);
     }
 
     #[test]
@@ -224,7 +583,7 @@ mod tests {
         for i in 0..1_000_000u64 {
             w.push(0.1 + (i % 7) as f64 * 0.3);
         }
-        let exact: f64 = w.samples.iter().sum();
+        let exact: f64 = w.samples().sum();
         assert!(
             (w.sum() - exact).abs() < 1e-9,
             "incremental sum {} drifted from exact {}",
@@ -234,5 +593,197 @@ mod tests {
         // Mean must stay within one ULP-ish neighborhood of the true
         // windowed mean, not merely near the stream mean.
         assert!((w.mean() - exact / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_order_survives_many_wraps() {
+        let mut w = SlidingWindow::new(3);
+        for i in 0..10 {
+            w.push(i as f64);
+        }
+        assert_eq!(w.samples().collect::<Vec<_>>(), vec![7.0, 8.0, 9.0]);
+        assert_eq!(w.last(), Some(9.0));
+        assert_eq!(w.max(), Some(9.0));
+        assert_eq!(w.len(), 3);
+    }
+
+    /// A fresh compensated re-sum of `vals`, the reference the running
+    /// sum is pinned against.
+    fn neumaier(vals: impl Iterator<Item = f64>) -> f64 {
+        let (mut s, mut c) = (0.0f64, 0.0f64);
+        for v in vals {
+            let t = s + v;
+            if s.abs() >= v.abs() {
+                c += (s - t) + v;
+            } else {
+                c += (v - t) + s;
+            }
+            s = t;
+        }
+        s + c
+    }
+
+    /// One unit in the last place of `x` (never zero).
+    fn ulp(x: f64) -> f64 {
+        let next = f64::from_bits(x.abs().to_bits() + 1);
+        (next - x.abs()).max(f64::MIN_POSITIVE)
+    }
+
+    proptest! {
+        /// The incremental running sum never strays more than 1 ULP from
+        /// a fresh compensated re-sum of the retained samples — across
+        /// arbitrary magnitudes, signs and window sizes, including runs
+        /// long enough to cross the drift-guard re-sum boundary.
+        #[test]
+        fn running_sum_within_one_ulp_of_resummed(
+            cap in 1usize..9,
+            vals in proptest::collection::vec(-1e12f64..1e12, 1..600),
+        ) {
+            let mut w = SlidingWindow::new(cap);
+            for &v in &vals {
+                w.push(v);
+                let exact = neumaier(w.samples());
+                let err = (w.sum() - exact).abs();
+                prop_assert!(
+                    err <= ulp(exact),
+                    "running sum {} vs re-summed {} (err {}, ulp {})",
+                    w.sum(), exact, err, ulp(exact)
+                );
+            }
+            // And the mean is the pinned sum over the retained count.
+            let exact = neumaier(w.samples());
+            let want = exact / w.len() as f64;
+            prop_assert!((w.mean() - want).abs() <= ulp(want));
+        }
+
+        /// The ring keeps exactly the last `cap` samples, oldest first.
+        #[test]
+        fn retained_samples_are_the_stream_tail(
+            cap in 1usize..9,
+            vals in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        ) {
+            let mut w = SlidingWindow::new(cap);
+            for &v in &vals {
+                w.push(v);
+            }
+            let tail: Vec<f64> =
+                vals[vals.len().saturating_sub(cap)..].to_vec();
+            prop_assert_eq!(w.samples().collect::<Vec<_>>(), tail);
+            prop_assert_eq!(w.last(), vals.last().copied());
+        }
+
+        /// A `BitWindow` is bit-for-bit the same statistic as a
+        /// `SlidingWindow` fed the stream as 0.0/1.0 samples: integer
+        /// partial sums are exact in f64, so both means reduce to the
+        /// identical `ones as f64 / len as f64` division.
+        #[test]
+        fn bit_window_matches_sliding_window_exactly(
+            cap in 1usize..65,
+            vals in proptest::collection::vec(any::<bool>(), 1..300),
+        ) {
+            let mut bits = BitWindow::new(cap);
+            let mut float = SlidingWindow::new(cap);
+            for &v in &vals {
+                bits.push(v);
+                float.push(if v { 1.0 } else { 0.0 });
+                prop_assert_eq!(
+                    bits.mean().to_bits(), float.mean().to_bits());
+                prop_assert_eq!(bits.len(), float.len());
+            }
+            let as_floats: Vec<f64> = bits
+                .samples()
+                .map(|b| if b { 1.0 } else { 0.0 })
+                .collect();
+            prop_assert_eq!(
+                as_floats, float.samples().collect::<Vec<_>>());
+        }
+
+        /// An `InlineWindow` retains exactly the samples a
+        /// `SlidingWindow` retains, sums exactly-representable streams
+        /// drift-free, and keeps its plain running sum within the
+        /// documented drift bound of a fresh re-summation — including
+        /// on streams long enough to cross `RESUM_INTERVAL`.
+        #[test]
+        fn inline_window_matches_sliding_window(
+            cap in 1usize..25,
+            vals in proptest::collection::vec(-1e9f64..1e9, 1..200),
+            stretch in 1usize..3,
+        ) {
+            let mut inline_w = InlineWindow::new(cap);
+            let mut heap_w = SlidingWindow::new(cap);
+            // Optionally replay the stream many times so the eviction
+            // counter crosses the drift-guard re-sum threshold and the
+            // resum path is exercised too.
+            let reps = if stretch == 2 {
+                (RESUM_INTERVAL as usize / vals.len()).max(1) + 1
+            } else {
+                1
+            };
+            let mut pushes = 0u64;
+            for _ in 0..reps {
+                for &v in &vals {
+                    inline_w.push(v);
+                    heap_w.push(v);
+                    pushes += 1;
+                    // Same retained count; sum within the drift bound
+                    // of the exact (compensated) reference: one ulp of
+                    // the peak magnitude per eviction since the last
+                    // re-sum.
+                    prop_assert_eq!(inline_w.len(), heap_w.len());
+                    let exact = heap_w.sum();
+                    let evictions =
+                        (pushes.min(RESUM_INTERVAL as u64)) as f64;
+                    let bound = (evictions + 2.0) * ulp(1e9 * cap as f64);
+                    prop_assert!(
+                        (inline_w.sum() - exact).abs() <= bound,
+                        "plain sum {} vs compensated {} (bound {})",
+                        inline_w.sum(), exact, bound
+                    );
+                }
+            }
+            prop_assert_eq!(
+                inline_w.samples().collect::<Vec<_>>(),
+                heap_w.samples().collect::<Vec<_>>());
+        }
+
+        /// Exactly-representable streams (integers — the shape of every
+        /// fixed-point telemetry sample after quantisation) are summed
+        /// exactly by the plain running sum: no drift, ever, and the
+        /// mean is bit-identical to the compensated window's.
+        #[test]
+        fn inline_window_is_exact_on_integer_streams(
+            cap in 1usize..25,
+            vals in proptest::collection::vec(-1_000_000i32..1_000_000, 1..300),
+        ) {
+            let mut inline_w = InlineWindow::new(cap);
+            let mut heap_w = SlidingWindow::new(cap);
+            for &v in &vals {
+                inline_w.push(v as f64);
+                heap_w.push(v as f64);
+                prop_assert_eq!(
+                    inline_w.mean().to_bits(), heap_w.mean().to_bits());
+                prop_assert_eq!(
+                    inline_w.sum().to_bits(), heap_w.sum().to_bits());
+            }
+        }
+    }
+
+    /// `clear` returns both inline windows to their fresh state.
+    #[test]
+    fn inline_windows_clear_to_empty() {
+        let mut bits = BitWindow::new(5);
+        let mut vals = InlineWindow::new(5);
+        for i in 0..7 {
+            bits.push(i % 2 == 0);
+            vals.push(i as f64);
+        }
+        bits.clear();
+        vals.clear();
+        assert!(bits.is_empty());
+        assert!(vals.is_empty());
+        assert_eq!(bits.mean(), 0.0);
+        assert_eq!(vals.mean(), 0.0);
+        assert_eq!(bits.samples().count(), 0);
+        assert_eq!(vals.samples().count(), 0);
     }
 }

@@ -14,11 +14,23 @@ echo "== tests (workspace) =="
 cargo test -q --workspace
 
 echo "== bench smoke (controller ingest vs committed baseline) =="
-# One short overhead_controller round: validates the batched and sharded
-# ingest paths end to end and fails on a >20% ingest-rate regression (or
-# a lost 2x speedup over the pre-batching baseline, or a sharded 4-thread
-# scaling factor below 2.5x) vs BENCH_controller.json.
-cargo run -q -p escra-bench --release --bin overhead_controller -- --smoke --check
+# One short overhead_controller round: validates the per-message,
+# batched, columnar and sharded ingest paths end to end — asserting the
+# columnar and forced-scalar-columnar decisions are identical to the
+# row paths — and fails on a >20% ingest-rate regression (or a lost 2x
+# speedup over the pre-batching baseline, or a sharded 4-thread scaling
+# factor below 2.5x) vs BENCH_controller.json. The JSON records which
+# kernel (avx2/scalar) the auto dispatch took.
+cargo run -q -p escra-bench --release --bin overhead_controller -- --columnar --smoke --check
+
+echo "== bench smoke (columnar scalar fallback via ESCRA_FORCE_SCALAR) =="
+# The same gate with the env knob forcing the scalar kernel even on
+# SIMD-capable hosts: the recorded active path must be "scalar" and all
+# decision-identity assertions must still hold.
+forced_out=$(ESCRA_FORCE_SCALAR=1 cargo run -q -p escra-bench --release --bin overhead_controller -- --columnar --smoke --check)
+echo "$forced_out"
+echo "$forced_out" | grep -q "scalar kernel" \
+    || { echo "FAIL: ESCRA_FORCE_SCALAR=1 did not select the scalar kernel"; exit 1; }
 
 echo "== sim engine identity (serial tick vs event heap, byte-for-byte) =="
 # The frozen SerialTick reference loop and the event-heap driver (with
