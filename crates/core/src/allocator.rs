@@ -10,7 +10,6 @@ use crate::config::EscraConfig;
 use crate::distributed_container::DistributedContainer;
 use escra_cfs::CpuPeriodStats;
 use escra_cluster::{AppId, ContainerId, NodeId};
-use escra_simcore::window::RESUM_INTERVAL;
 use std::collections::BTreeMap;
 
 /// Sentinel in the direct-mapped container index: "no slab slot".
@@ -28,15 +27,18 @@ pub(crate) const NO_SLOT: u32 = u32::MAX;
 /// * throttle side — a one-word bit ring with an exact integer
 ///   set-bit count ([`escra_simcore::window::BitWindow`]); its mean is
 ///   provably bit-identical to a `SlidingWindow` fed 0.0/1.0;
-/// * unused side — an inline ring with a plain running sum, re-summed
-///   exactly every [`RESUM_INTERVAL`] evictions
-///   ([`escra_simcore::window::InlineWindow`]; see there for the drift
-///   bound and why the plain sum is safe for the decision procedure).
+/// * unused side — an inline ring whose mean is a fresh oldest-first
+///   re-sum of the retained samples on every read. The mean is therefore
+///   a pure function of the window *contents*: no incremental running
+///   sum whose floating-point value depends on the eviction history (an
+///   earlier incremental-sum variant moved a handful of marginal
+///   scale-down decisions by an ULP whenever the summation order
+///   changed, drifting committed artifacts at display precision). The
+///   re-sum touches at most `cap ≤ 24` in-cache f64s and the decision
+///   procedure only reads it after its headroom check passes.
 #[derive(Debug, Clone)]
 #[repr(C)]
 struct DecisionWindows {
-    /// Running sum of the retained unused-runtime samples.
-    sum: f64,
     /// Throttle indicators; ring position `i` is bit `i`.
     bits: u64,
     /// Exact count of set bits among the retained indicators.
@@ -47,8 +49,6 @@ struct DecisionWindows {
     head: u16,
     /// Retained-window capacity, at most [`DecisionWindows::MAX_CAPACITY`].
     cap: u16,
-    /// Evictions since the last exact re-summation of `sum`.
-    evictions: u16,
     /// Unused-runtime ring storage.
     buf: [f64; DecisionWindows::MAX_CAPACITY],
 }
@@ -68,28 +68,13 @@ impl DecisionWindows {
             DecisionWindows::MAX_CAPACITY
         );
         DecisionWindows {
-            sum: 0.0,
             bits: 0,
             ones: 0,
             len: 0,
             head: 0,
             cap: capacity as u16,
-            evictions: 0,
             buf: [0.0; DecisionWindows::MAX_CAPACITY],
         }
-    }
-
-    /// Fresh exact re-summation of the unused ring, oldest first — the
-    /// drift guard, on the same schedule as `InlineWindow`.
-    fn resum(&mut self) {
-        self.sum = 0.0;
-        let (head, len) = (self.head as usize, self.len as usize);
-        for i in 0..len {
-            let idx = head + i;
-            let idx = if idx >= len { idx - len } else { idx };
-            self.sum += self.buf[idx];
-        }
-        self.evictions = 0;
     }
 
     /// Pushes one decision's samples into both rings, evicting the
@@ -101,7 +86,6 @@ impl DecisionWindows {
             self.bits |= (throttled as u64) << pos;
             self.ones += throttled as u16;
             self.buf[pos] = unused;
-            self.sum += unused;
             self.len += 1;
             return;
         }
@@ -114,17 +98,12 @@ impl DecisionWindows {
         // allocator's hottest load, so the bound is not re-proved per
         // call.
         let slot = unsafe { self.buf.get_unchecked_mut(head) };
-        let old = std::mem::replace(slot, unused);
-        self.sum += unused - old;
+        *slot = unused;
         self.head = if head + 1 == self.cap as usize {
             0
         } else {
             self.head + 1
         };
-        self.evictions += 1;
-        if self.evictions >= RESUM_INTERVAL as u16 {
-            self.resum();
-        }
     }
 
     /// Retained sample count (both rings).
@@ -142,14 +121,31 @@ impl DecisionWindows {
         }
     }
 
-    /// Mean unused runtime (0.0 when empty) — `InlineWindow::mean`.
+    /// Mean unused runtime (0.0 when empty), computed by an exact
+    /// oldest-first re-sum of the ring. Summing the same logical sample
+    /// sequence in the same order every time makes the mean — and with
+    /// it every scale-down decision, snapshot, and trace record —
+    /// independent of how the ring happens to be maintained.
     #[inline]
     fn unused_mean(&self) -> f64 {
-        if self.len == 0 {
-            0.0
-        } else {
-            self.sum / self.len as f64
+        let len = self.len as usize;
+        if len == 0 {
+            return 0.0;
         }
+        let mut sum = 0.0;
+        let mut idx = if self.len < self.cap {
+            0
+        } else {
+            self.head as usize
+        };
+        for _ in 0..len {
+            sum += self.buf[idx];
+            idx += 1;
+            if idx == self.cap as usize {
+                idx = 0;
+            }
+        }
+        sum / len as f64
     }
 
     /// Ring position of logical sample `i` (0 = oldest).
@@ -633,9 +629,10 @@ impl ResourceAllocator {
         // it prevents a single post-spike period from triggering a cut
         // that immediately re-throttles the container.
         if track.quota_cores - usage_cores > self.cfg.gamma_cores {
-            // The windowed mean (an f64 division) is evaluated only once
-            // the headroom check passes — the common Hold path exits on
-            // the subtraction alone.
+            // The windowed mean (an exact oldest-first re-sum of at most
+            // `cpu_window_periods` in-cache samples) is evaluated only
+            // once the headroom check passes — the common Hold path
+            // exits on the subtraction alone.
             let unused_mean = track.windows.unused_mean();
             if unused_mean > self.cfg.gamma_cores {
                 // Shrink the windowed-mean excess *above* γ by κ, so the

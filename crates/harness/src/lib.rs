@@ -10,6 +10,8 @@
 //!   Table I, §VI-I overheads);
 //! * [`serverless_sim`] — the OpenWhisk-style invoker loop
 //!   (Figs. 7–9);
+//! * [`trace_sim`] — the trace-driven mega-scenario driver (one
+//!   Distributed Container per traced app, tens of thousands of apps);
 //! * [`tracking`] — the Fig. 2 single-container CPU-tracking experiment;
 //! * [`sweep`] — the deterministic parallel sweep runner the benchmark
 //!   grids execute on (bit-identical to serial execution).
@@ -22,6 +24,7 @@ pub mod policy;
 pub mod queueing;
 pub mod serverless_sim;
 pub mod sweep;
+pub mod trace_sim;
 pub mod tracking;
 
 pub use microsim::{
@@ -30,3 +33,4 @@ pub use microsim::{
 };
 pub use policy::Policy;
 pub use sweep::{default_threads, run_serial, run_sweep, scenario_seed, scenarios, Scenario};
+pub use trace_sim::{run_trace_sim, TraceSimConfig, TraceSimOutput};

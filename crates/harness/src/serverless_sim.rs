@@ -619,8 +619,9 @@ fn spawn_pod(
 }
 
 /// Applies controller actions, feeding reclamation reports back; returns
-/// whether any container was killed.
-fn drive_actions(
+/// whether any container was killed. Shared with the trace-driven
+/// mega-scenario driver ([`crate::trace_sim`]).
+pub(crate) fn drive_actions(
     cluster: &mut Cluster,
     agents: &mut [Agent],
     controller: &mut Controller,
@@ -724,6 +725,31 @@ mod tests {
             "{:?}|{:?}|{:?}|{:?}",
             out.metrics, out.job_latency, out.peak_pods, out.network
         )
+    }
+
+    #[test]
+    fn warm_pods_block_fast_forward_and_output_stays_identical() {
+        // Fast-forward may only engage when the invoker is *fully* idle:
+        // a warm pod's idle-timeout is a pending event the skip must not
+        // jump over. With the timeout stretched past the inter-iteration
+        // gap, pods stay warm across the gap, so a run with the flag on
+        // must skip nothing — and match the flag-off run bit for bit.
+        let mut slow = ServerlessConfig {
+            app: ServerlessApp::ImageProcess { iterations: 2 },
+            ..ServerlessConfig::image_process(None, 7)
+        };
+        slow.openwhisk.idle_timeout = SimDuration::from_secs(400); // > 120 s gap
+        slow.fast_forward_idle = false;
+        let mut fast = slow.clone();
+        fast.fast_forward_idle = true;
+        let a = run_serverless(&slow, &image_process());
+        let b = run_serverless(&fast, &image_process());
+        assert_eq!(digest(&a), digest(&b));
+        assert_eq!(
+            b.rounds_fast_forwarded, 0,
+            "warm pods must pin every window"
+        );
+        assert_eq!(a.rounds_executed, b.rounds_executed);
     }
 
     #[test]

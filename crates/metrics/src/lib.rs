@@ -12,6 +12,9 @@
 //!   [`trace::TraceSink`] trait (with the compile-to-nothing
 //!   [`trace::NoopSink`]), the ring-buffer [`trace::TraceRecorder`], and
 //!   the deterministic multi-recorder merge/render used by `trace_dump`;
+//! * [`serverless`] — serverless-style statistics for the trace-driven
+//!   scenarios: cold starts and their latency, wasted resource-time,
+//!   and absolute execution/total slowdown distributions;
 //! * [`expo`] — Prometheus-style text exposition and JSON snapshots of
 //!   controller counters, shard depths and decision-latency histograms;
 //! * [`fingerprint`] — canonical FNV-1a state/trace fingerprints used by
@@ -24,12 +27,14 @@ pub mod expo;
 pub mod fingerprint;
 pub mod recorders;
 pub mod report;
+pub mod serverless;
 pub mod trace;
 
 pub use expo::{ExpoSnapshot, HistogramSummary, NamedCounter, PromText, ShardDepth};
 pub use fingerprint::{fingerprint128, trace_fingerprint, Fingerprint, StateHash};
 pub use recorders::{Comparison, LatencyRecorder, RunMetrics, SlackRecorder};
 pub use report::{cdf_lines, downsample_cdf, to_json, Table};
+pub use serverless::ServerlessStats;
 pub use trace::{
     grant_latency_histogram, kind_counts, merge_events, render_line, render_merged, NoopSink,
     TraceEvent, TraceEventKind, TraceRecorder, TraceSink,

@@ -1,0 +1,265 @@
+//! Loader for Azure-Functions-shaped trace CSVs.
+//!
+//! The public Azure Functions traces ship three tables — per-app
+//! invocation counts per minute, execution-duration percentiles, and
+//! allocated-memory percentiles. This loader accepts the joined,
+//! one-row-per-app form (see DESIGN.md §12 for the schema rationale):
+//!
+//! ```csv
+//! app,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0,m1,m2,...
+//! fn-resize,96,150,230,1800,0,4,11,...
+//! ```
+//!
+//! * `app` — unique application name;
+//! * `mem_p50_mib` / `mem_p99_mib` — allocated-memory percentiles;
+//! * `dur_p50_ms` / `dur_p99_ms` — duration percentiles, fitted to a
+//!   lognormal via [`TraceWorkload::fit_lognormal_ms`];
+//! * `m0..` — invocations per minute; every row must have the same
+//!   number of minute columns.
+//!
+//! The loader normalizes into the shared [`TraceWorkload`] form — the
+//! same shape [`crate::synthetic_trace`] generates — so the driver and
+//! benchmarks are agnostic to where a trace came from.
+
+use crate::trace_workload::{TraceApp, TraceWorkload};
+
+/// Minimum idle (warm-pod) memory attributed to a traced app, in MiB.
+pub const MIN_IDLE_MEM_MIB: u64 = 4;
+
+/// A malformed trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AzureTraceError {
+    /// The header row is missing or does not start with the expected
+    /// columns.
+    BadHeader,
+    /// A data row is malformed; carries `(line_number, description)`.
+    BadRow(usize, String),
+}
+
+impl std::fmt::Display for AzureTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AzureTraceError::BadHeader => {
+                write!(
+                    f,
+                    "bad header: expected \
+                     app,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0,..."
+                )
+            }
+            AzureTraceError::BadRow(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AzureTraceError {}
+
+/// The columns preceding the per-minute counts.
+const FIXED_COLUMNS: usize = 5;
+
+/// Parses an Azure-Functions-shaped CSV into a [`TraceWorkload`].
+///
+/// ```
+/// use escra_workloads::azure_trace::parse_azure_csv;
+/// let csv = "\
+/// app,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0,m1,m2
+/// fn-a,96,150,230,1800,0,4,11
+/// fn-b,48,64,50,90,120,118,121
+/// ";
+/// let w = parse_azure_csv(csv).unwrap();
+/// assert_eq!(w.apps.len(), 2);
+/// assert_eq!(w.minutes, 3);
+/// assert_eq!(w.apps[1].rpm, vec![120.0, 118.0, 121.0]);
+/// assert!((w.apps[0].exec_ms_median() - 230.0).abs() < 1e-9);
+/// ```
+///
+/// # Errors
+///
+/// [`AzureTraceError`] on a missing/incorrect header, non-numeric or
+/// negative fields, duplicate app names, or rows whose minute-column
+/// count disagrees.
+pub fn parse_azure_csv(csv: &str) -> Result<TraceWorkload, AzureTraceError> {
+    let mut lines = csv.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((_, l)) if l.trim().is_empty() => continue,
+            Some((_, l)) => break l,
+            None => return Err(AzureTraceError::BadHeader),
+        }
+    };
+    let head: Vec<&str> = header.split(',').map(str::trim).collect();
+    if head.len() < FIXED_COLUMNS + 1
+        || head[..FIXED_COLUMNS]
+            != [
+                "app",
+                "mem_p50_mib",
+                "mem_p99_mib",
+                "dur_p50_ms",
+                "dur_p99_ms",
+            ]
+    {
+        return Err(AzureTraceError::BadHeader);
+    }
+
+    let mut apps: Vec<TraceApp> = Vec::new();
+    let mut minutes: Option<usize> = None;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() <= FIXED_COLUMNS {
+            return Err(AzureTraceError::BadRow(
+                lineno,
+                "row has no minute columns".into(),
+            ));
+        }
+        let name = fields[0];
+        if name.is_empty() {
+            return Err(AzureTraceError::BadRow(lineno, "empty app name".into()));
+        }
+        if apps.iter().any(|a| a.name == name) {
+            return Err(AzureTraceError::BadRow(
+                lineno,
+                format!("duplicate app name {name:?}"),
+            ));
+        }
+        let num = |col: usize| -> Result<f64, AzureTraceError> {
+            let v: f64 = fields[col].parse().map_err(|_| {
+                AzureTraceError::BadRow(
+                    lineno,
+                    format!(
+                        "non-numeric {} value {:?}",
+                        head[col.min(head.len() - 1)],
+                        fields[col]
+                    ),
+                )
+            })?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(AzureTraceError::BadRow(
+                    lineno,
+                    format!("negative or non-finite value {v} in column {col}"),
+                ));
+            }
+            Ok(v)
+        };
+        let mem_p50 = num(1)?;
+        let mem_p99 = num(2)?;
+        let dur_p50 = num(3)?;
+        let dur_p99 = num(4)?;
+        let mut rpm = Vec::with_capacity(fields.len() - FIXED_COLUMNS);
+        for col in FIXED_COLUMNS..fields.len() {
+            rpm.push(num(col)?);
+        }
+        match minutes {
+            None => minutes = Some(rpm.len()),
+            Some(m) if m != rpm.len() => {
+                return Err(AzureTraceError::BadRow(
+                    lineno,
+                    format!("row has {} minute columns, expected {m}", rpm.len()),
+                ));
+            }
+            Some(_) => {}
+        }
+        let (mu, sigma) = TraceWorkload::fit_lognormal_ms(dur_p50, dur_p99);
+        apps.push(TraceApp {
+            name: name.to_string(),
+            rpm,
+            exec_ms_mu: mu,
+            exec_ms_sigma: sigma,
+            // Peak working set is the p99 allocation; a warm, idle pod
+            // retains a quarter of the median (floored).
+            mem_mib: (mem_p99.max(mem_p50).round() as u64).max(1),
+            idle_mem_mib: ((mem_p50 / 4.0).round() as u64).max(MIN_IDLE_MEM_MIB),
+        });
+    }
+    Ok(TraceWorkload {
+        apps,
+        minutes: minutes.unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+app,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0,m1
+fn-a,96,150,230,1800,0,4
+fn-b,48,64,50,90,120,118
+";
+
+    #[test]
+    fn parses_and_normalizes() {
+        let w = parse_azure_csv(GOOD).unwrap();
+        assert_eq!(w.minutes, 2);
+        assert_eq!(w.apps[0].name, "fn-a");
+        assert_eq!(w.apps[0].mem_mib, 150);
+        assert_eq!(w.apps[0].idle_mem_mib, 24);
+        assert_eq!(w.apps[1].rpm, vec![120.0, 118.0]);
+        // The lognormal fit reproduces both percentiles.
+        let a = &w.apps[0];
+        assert!((a.exec_ms_median() - 230.0).abs() < 1e-9);
+        let p99 = (a.exec_ms_mu + crate::trace_workload::Z99 * a.exec_ms_sigma).exp();
+        assert!((p99 - 1_800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn header_is_mandatory() {
+        assert_eq!(
+            parse_azure_csv("fn-a,96,150,230,1800,0,4\n"),
+            Err(AzureTraceError::BadHeader)
+        );
+        assert_eq!(parse_azure_csv(""), Err(AzureTraceError::BadHeader));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "\
+app,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0,m1
+fn-a,96,150,230,1800,0,4
+fn-b,48,64,50,90,120
+";
+        assert!(matches!(
+            parse_azure_csv(csv),
+            Err(AzureTraceError::BadRow(3, _))
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_bad_values_rejected() {
+        let dup = "\
+app,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0
+fn-a,96,150,230,1800,0
+fn-a,96,150,230,1800,0
+";
+        assert!(matches!(
+            parse_azure_csv(dup),
+            Err(AzureTraceError::BadRow(3, _))
+        ));
+        let neg = "\
+app,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0
+fn-a,96,150,230,1800,-1
+";
+        assert!(matches!(
+            parse_azure_csv(neg),
+            Err(AzureTraceError::BadRow(2, _))
+        ));
+        let text = "\
+app,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0
+fn-a,96,x,230,1800,0
+";
+        assert!(matches!(
+            parse_azure_csv(text),
+            Err(AzureTraceError::BadRow(2, _))
+        ));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "\n\napp,mem_p50_mib,mem_p99_mib,dur_p50_ms,dur_p99_ms,m0\n\nfn-a,96,150,230,1800,6\n\n";
+        let w = parse_azure_csv(csv).unwrap();
+        assert_eq!(w.apps.len(), 1);
+        assert_eq!(w.minutes, 1);
+    }
+}

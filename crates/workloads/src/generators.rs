@@ -157,7 +157,14 @@ impl RequestGenerator {
         &self.kind
     }
 
-    /// Arrival times in `[start, end)`, sorted ascending.
+    /// Arrival times in the half-open window `[start, end)`, sorted
+    /// ascending.
+    ///
+    /// The window is **half-open**: an arrival landing exactly on a
+    /// window boundary belongs to the *later* window and is emitted
+    /// exactly once across adjacent calls — callers may tile a run with
+    /// windows of arbitrary, heterogeneous sizes (the trace driver does)
+    /// without double- or zero-counting boundary arrivals.
     ///
     /// # Panics
     ///
@@ -281,6 +288,67 @@ mod tests {
             assert!(a >= last && a < end);
             last = a;
         }
+    }
+
+    /// Regression pin for the half-open `[start, end)` contract: a
+    /// deterministic arrival landing exactly on a shared window boundary
+    /// must be emitted exactly once, by the *later* window, for windows
+    /// of heterogeneous sizes.
+    #[test]
+    fn boundary_arrival_emitted_exactly_once_across_heterogeneous_windows() {
+        // gap = 250 ms, so arrivals land at 0, 250, 500, 750, 1000, ...
+        let mut g = RequestGenerator::new(WorkloadKind::Fixed { rps: 4.0 }, 1);
+        // Window edges at 500 ms and 750 ms coincide exactly with
+        // arrivals; window sizes are deliberately unequal.
+        let w1 = g.arrivals_in(SimTime::ZERO, SimTime::from_millis(500));
+        let w2 = g.arrivals_in(SimTime::from_millis(500), SimTime::from_millis(750));
+        let w3 = g.arrivals_in(SimTime::from_millis(750), SimTime::from_secs(2));
+        assert_eq!(w1, vec![SimTime::ZERO, SimTime::from_millis(250)]);
+        // The arrival at exactly 500 ms is excluded from [0, 500) and
+        // emitted once by [500, 750).
+        assert_eq!(w2, vec![SimTime::from_millis(500)]);
+        assert_eq!(
+            w3,
+            (3..8)
+                .map(|i| SimTime::from_millis(i * 250))
+                .collect::<Vec<_>>()
+        );
+        // Exactly once overall: 8 arrivals in [0, 2 s), no duplicates.
+        let mut all = [w1, w2, w3].concat();
+        let n = all.len();
+        all.dedup();
+        assert_eq!(all.len(), n, "boundary arrival double-counted");
+        assert_eq!(n, 8, "boundary arrival lost");
+    }
+
+    /// The same contract for the stochastic paths: every arrival strictly
+    /// inside its half-open window, and the aggregate rate over a tiling
+    /// of heterogeneous windows is preserved (double/zero-counting at the
+    /// seams would skew it).
+    #[test]
+    fn stochastic_heterogeneous_windows_preserve_rate_and_stay_half_open() {
+        let mut g = RequestGenerator::new(WorkloadKind::paper_exp(), 5);
+        let sizes_ms = [100u64, 250, 70, 1_000, 330, 500];
+        let mut t = SimTime::ZERO;
+        let mut total = 0usize;
+        let mut elapsed_ms = 0u64;
+        let mut i = 0usize;
+        while elapsed_ms < 30_000 {
+            let size = sizes_ms[i % sizes_ms.len()];
+            let end = t + SimDuration::from_millis(size);
+            for a in g.arrivals_in(t, end) {
+                assert!(a >= t && a < end, "arrival {a:?} outside [{t:?}, {end:?})");
+                total += 1;
+            }
+            t = end;
+            elapsed_ms += size;
+            i += 1;
+        }
+        let rate = total as f64 / (elapsed_ms as f64 / 1_000.0);
+        assert!(
+            (rate - 300.0).abs() < 15.0,
+            "tiled-window rate {rate} drifted from λ = 300"
+        );
     }
 
     #[test]

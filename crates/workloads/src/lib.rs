@@ -11,17 +11,28 @@
 //!   with the paper's container counts (MediaMicroservice 32,
 //!   HipsterShop 11, TrainTicket 68, Teastore 7);
 //! * [`serverless`] — OpenWhisk invoker configuration and the
-//!   ImageProcess / GridSearch action profiles.
+//!   ImageProcess / GridSearch action profiles;
+//! * [`trace_workload`] — the normalized [`TraceWorkload`] form driving
+//!   the trace-mega scenarios (one Distributed Container per traced
+//!   app);
+//! * [`azure_trace`] — loader for Azure-Functions-shaped CSVs
+//!   (per-minute invocation counts + duration/memory percentiles);
+//! * [`synthetic_trace`] — seeded synthetic app populations
+//!   (steady/diurnal/bursty mixes) normalizing into the same form.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod azure_trace;
 pub mod generators;
 pub mod microservice;
 pub mod serverless;
+pub mod synthetic_trace;
 pub mod sysbench;
 pub mod trace;
+pub mod trace_workload;
 
+pub use azure_trace::{parse_azure_csv, AzureTraceError};
 pub use generators::{RequestGenerator, WorkloadKind};
 pub use microservice::{
     hipster_shop, media_microservice, paper_apps, teastore, train_ticket, MicroserviceApp,
@@ -30,5 +41,9 @@ pub use microservice::{
 pub use serverless::{
     grid_search_task, image_process, ActionProfile, GridSearchJob, OpenWhiskConfig,
 };
+pub use synthetic_trace::{
+    mega_mix, synthetic_trace, AppClass, ArrivalShape, SyntheticTraceConfig,
+};
 pub use sysbench::{Phase, SysbenchLoad};
 pub use trace::{alibaba_trace, alibaba_workload};
+pub use trace_workload::{TraceApp, TraceWorkload};

@@ -59,6 +59,18 @@ cargo run -q -p escra-bench --release --bin trace_dump -- --threads 4
 cmp target/escra-results/trace_dump_serial.trace \
     target/escra-results/trace_dump_t4.trace
 
+echo "== trace mega smoke (10k traced apps vs committed baseline, serial-vs-t4 byte-identity) =="
+# The trace-driven mega-scenario: 10,000 synthetic Azure-shaped apps
+# (one Distributed Container each) across 16 shards with jittered
+# batched telemetry. --serial re-runs the grid serially and fails unless
+# the shard summaries are byte-identical; --check fails on a >2x
+# throughput regression vs BENCH_trace.json. The cmp re-asserts the
+# identity across separate processes (threads=1 vs threads=4 dumps).
+cargo run -q -p escra-bench --release --bin trace_mega -- --smoke --check --serial --threads 1
+cargo run -q -p escra-bench --release --bin trace_mega -- --smoke --threads 4
+cmp target/escra-results/trace_mega_serial.shards.json \
+    target/escra-results/trace_mega_t4.shards.json
+
 echo "== model check (exhaustive, pinned state counts, mutations caught) =="
 # mc_explore explores every schedule (reorder + drop + duplicate + OOM +
 # timer branching) of four bounded control-plane configurations: all
