@@ -13,7 +13,9 @@
 //! candidate becomes the limit. Like the original (and unlike VPA), the
 //! limits apply without container restarts.
 
-use crate::types::{LimitUpdate, PeriodicScaler, UsageSample};
+use crate::types::{
+    validate_observation, validate_update_period, LimitUpdate, PeriodicScaler, UsageSample,
+};
 use escra_cluster::ContainerId;
 use escra_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -208,6 +210,7 @@ impl AutopilotScaler {
     /// Panics if the config has no arms.
     pub fn new(cfg: AutopilotConfig) -> Self {
         assert!(!cfg.arms.is_empty(), "Autopilot needs at least one arm");
+        validate_update_period(cfg.update_period);
         let cost_decay = 0.5f64.powf(1.0 / cfg.cost_half_life_samples);
         AutopilotScaler {
             cost_decay,
@@ -219,11 +222,6 @@ impl AutopilotScaler {
     /// The configuration in use.
     pub fn config(&self) -> &AutopilotConfig {
         &self.cfg
-    }
-
-    /// Removes a container's state (terminated pod).
-    pub fn forget(&mut self, container: ContainerId) {
-        self.containers.remove(&container);
     }
 
     /// Warm-starts a container's recommender from profiled peaks, as a
@@ -291,6 +289,7 @@ impl AutopilotScaler {
 
 impl PeriodicScaler for AutopilotScaler {
     fn observe(&mut self, container: ContainerId, sample: UsageSample) {
+        validate_observation(&sample, f64::INFINITY);
         let cost_decay = self.cost_decay;
         let (w_o, w_u, w_d) = (self.cfg.w_overrun, self.cfg.w_underrun, self.cfg.w_delta);
         let arms = self.cfg.arms.clone();
@@ -355,6 +354,17 @@ impl PeriodicScaler for AutopilotScaler {
 
     fn update_period(&self) -> SimDuration {
         self.cfg.update_period
+    }
+
+    /// Warm-starts from the applied limits, exactly as the microsim
+    /// seeds from profiled peaks (40 alternating samples).
+    fn track(&mut self, container: ContainerId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
+        self.seed_profile(container, cpu_limit_cores, mem_limit_bytes, 40);
+    }
+
+    /// Removes a container's state (terminated pod).
+    fn forget(&mut self, container: ContainerId) {
+        self.containers.remove(&container);
     }
 
     fn on_oom(&mut self, container: ContainerId, limit_bytes: u64) {

@@ -11,18 +11,32 @@
 //! * [`vpa`] — a Kubernetes VPA-style threshold autoscaler whose updates
 //!   require container restarts and are rate-limited to one per minute
 //!   (§II);
+//! * [`tiny_autoscaler`] — a per-function window-percentile CPU
+//!   predictor in the spirit of "tiny autoscalers for tiny workloads"
+//!   (Zhao & Uta): VPA imitated at function granularity with a short
+//!   history and configurable percentile/headroom;
+//! * [`arc_v`] — ARC-V-style phase-aware vertical scaling: in-place
+//!   limit raises/shrinks gated by the observed utilization slope and a
+//!   cooldown;
 //! * [`types`] — the [`types::PeriodicScaler`] trait and shared
 //!   recommendation/profile types.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arc_v;
 pub mod autopilot;
 pub mod static_alloc;
+pub mod tiny_autoscaler;
 pub mod types;
 pub mod vpa;
 
+pub use arc_v::{ArcVConfig, ArcVScaler};
 pub use autopilot::{Arm, AutopilotConfig, AutopilotScaler};
 pub use static_alloc::StaticPolicy;
-pub use types::{ContainerProfile, LimitUpdate, PeriodicScaler, UsageSample};
+pub use tiny_autoscaler::{TinyAutoscaler, TinyAutoscalerConfig};
+pub use types::{
+    validate_observation, validate_update_period, ContainerProfile, LimitUpdate, PeriodicScaler,
+    UsageSample,
+};
 pub use vpa::{VpaConfig, VpaScaler};

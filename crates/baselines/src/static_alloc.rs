@@ -5,8 +5,11 @@
 //! 1.0× (best estimate) and 1.5× (safe buffer), settling on 1.5× for the
 //! comparisons.
 
-use crate::types::{ContainerProfile, LimitUpdate};
+use crate::types::{
+    validate_observation, ContainerProfile, LimitUpdate, PeriodicScaler, UsageSample,
+};
 use escra_cluster::ContainerId;
+use escra_simcore::time::SimDuration;
 use std::collections::BTreeMap;
 
 /// The static allocation policy: per-container fixed limits derived from
@@ -30,6 +33,7 @@ use std::collections::BTreeMap;
 pub struct StaticPolicy {
     limits: BTreeMap<ContainerId, ContainerProfile>,
     factor: f64,
+    emitted: bool,
 }
 
 impl StaticPolicy {
@@ -46,6 +50,7 @@ impl StaticPolicy {
                 .map(|(id, p)| (*id, p.scaled(factor)))
                 .collect(),
             factor,
+            emitted: false,
         }
     }
 
@@ -75,6 +80,28 @@ impl StaticPolicy {
     /// The fixed memory limit for one container, if profiled.
     pub fn mem_limit_of(&self, container: ContainerId) -> Option<u64> {
         self.limits.get(&container).map(|p| p.peak_mem_bytes)
+    }
+}
+
+/// The degenerate periodic scaler: emits [`StaticPolicy::initial_limits`]
+/// exactly once, then stays silent forever — letting the conformance
+/// suite and the drivers treat "common practice" as just another policy
+/// behind the shared trait.
+impl PeriodicScaler for StaticPolicy {
+    fn observe(&mut self, _container: ContainerId, sample: UsageSample) {
+        validate_observation(&sample, f64::INFINITY);
+    }
+
+    fn recommend(&mut self) -> Vec<LimitUpdate> {
+        if self.emitted {
+            return Vec::new();
+        }
+        self.emitted = true;
+        self.initial_limits()
+    }
+
+    fn update_period(&self) -> SimDuration {
+        SimDuration::from_secs(60)
     }
 }
 
@@ -129,5 +156,22 @@ mod tests {
     #[should_panic(expected = "factor must be positive")]
     fn zero_factor_panics() {
         StaticPolicy::from_profiles(&profiles(), 0.0);
+    }
+
+    #[test]
+    fn trait_impl_emits_once_then_goes_quiet() {
+        let mut p = StaticPolicy::from_profiles(&profiles(), 1.5);
+        p.observe(
+            ContainerId::new(0),
+            UsageSample {
+                cpu_cores: 0.5,
+                mem_bytes: 10,
+            },
+        );
+        assert_eq!(p.recommend().len(), 2, "one-shot initial limits");
+        for _ in 0..5 {
+            assert!(p.recommend().is_empty(), "static limits never change");
+        }
+        assert_eq!(p.update_period(), SimDuration::from_secs(60));
     }
 }

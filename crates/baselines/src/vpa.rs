@@ -7,7 +7,9 @@
 //! * applying a recommendation **restarts the container**;
 //! * a container is rescaled **at most once per minute**.
 
-use crate::types::{LimitUpdate, PeriodicScaler, UsageSample};
+use crate::types::{
+    validate_observation, validate_update_period, LimitUpdate, PeriodicScaler, UsageSample,
+};
 use escra_cluster::ContainerId;
 use escra_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -87,6 +89,7 @@ impl VpaScaler {
             cfg.lower_bound < cfg.target_utilization && cfg.target_utilization < cfg.upper_bound,
             "bounds must straddle the target utilization"
         );
+        validate_update_period(cfg.update_period);
         let samples_per_gap =
             (cfg.min_rescale_gap.as_micros() / cfg.update_period.as_micros()).max(1);
         VpaScaler {
@@ -107,6 +110,7 @@ impl VpaScaler {
 
 impl PeriodicScaler for VpaScaler {
     fn observe(&mut self, container: ContainerId, sample: UsageSample) {
+        validate_observation(&sample, f64::INFINITY);
         let st = self.containers.entry(container).or_default();
         st.last_cpu_usage = sample.cpu_cores;
         st.last_mem_usage = sample.mem_bytes;
@@ -147,6 +151,14 @@ impl PeriodicScaler for VpaScaler {
             });
         }
         out
+    }
+
+    fn track(&mut self, container: ContainerId, cpu_limit_cores: f64, mem_limit_bytes: u64) {
+        self.set_limits(container, cpu_limit_cores, mem_limit_bytes);
+    }
+
+    fn forget(&mut self, container: ContainerId) {
+        self.containers.remove(&container);
     }
 
     fn update_period(&self) -> SimDuration {

@@ -1,0 +1,215 @@
+//! Baseline-diversity benchmark for the dynamic-population drivers:
+//! runs both OpenWhisk-style applications (ImageProcess, GridSearch)
+//! and a trace-driven mega-mix smoke under the full policy roster —
+//! vanilla OpenWhisk / static pods, the tiny autoscaler, ARC-V, and
+//! Escra — and prints the cost-efficiency columns (normalized $ and
+//! $/1k requests under the default cost model) next to the paper's
+//! metrics.
+//!
+//! `--smoke` shrinks the ImageProcess run to one iteration and the
+//! trace population for CI; the comparisons keep the same shape.
+
+use escra_baselines::{ArcVConfig, TinyAutoscalerConfig};
+use escra_bench::{write_json, SEED};
+use escra_core::EscraConfig;
+use escra_harness::serverless_sim::{run_serverless, ServerlessApp, ServerlessConfig};
+use escra_harness::{run_trace_sim, BaselineScalerKind, TraceSimConfig};
+use escra_metrics::{to_json, CostModel, Table};
+use escra_workloads::serverless::{grid_search_task, image_process};
+use escra_workloads::{mega_mix, synthetic_trace};
+use serde::Serialize;
+
+/// One policy mode applied uniformly across all three drivers.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Static per-pod limits (vanilla OpenWhisk / static trace pods).
+    Vanilla,
+    /// A [`PeriodicScaler`](escra_baselines::PeriodicScaler) baseline.
+    Baseline(BaselineScalerKind),
+    /// Escra's event-driven controller.
+    Escra,
+}
+
+fn modes() -> [Mode; 4] {
+    [
+        Mode::Vanilla,
+        Mode::Baseline(BaselineScalerKind::Tiny(TinyAutoscalerConfig::default())),
+        Mode::Baseline(BaselineScalerKind::ArcV(ArcVConfig::default())),
+        Mode::Escra,
+    ]
+}
+
+#[derive(Serialize)]
+struct CostRow {
+    driver: String,
+    policy: String,
+    requests: u64,
+    cost_cpu: f64,
+    cost_mem: f64,
+    cost_oom: f64,
+    cost_total: f64,
+    dollars_per_kilo_request: f64,
+}
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other:?} (expected --smoke)"),
+        }
+    }
+    let model = CostModel::default();
+    let mut dump = Vec::new();
+
+    // ---- ImageProcess: per-request latency + cost per policy ----
+    let iterations = if smoke { 1 } else { 4 };
+    println!("ImageProcess ({iterations} iterations x 750 requests)");
+    let mut table = Table::new(vec![
+        "policy",
+        "mean(ms)",
+        "p99(ms)",
+        "succ",
+        "cpu lim mean",
+        "mem lim mean(MiB)",
+        "cost($)",
+        "$/1k req",
+    ]);
+    for mode in modes() {
+        let mut cfg = ServerlessConfig {
+            app: ServerlessApp::ImageProcess { iterations },
+            ..ServerlessConfig::image_process(None, 11)
+        };
+        match mode {
+            Mode::Vanilla => {}
+            Mode::Baseline(kind) => cfg.baseline = Some(kind),
+            Mode::Escra => cfg.escra = Some(EscraConfig::default()),
+        }
+        let out = run_serverless(&cfg, &image_process());
+        let m = &out.metrics;
+        let cost = model.run_cost(m);
+        let per_kilo = model.per_kilo_request(&cost, m.latency.successes());
+        table.row(vec![
+            m.policy.clone(),
+            format!("{:.0}", m.latency.mean_ms()),
+            format!("{:.0}", m.latency.p(99.0)),
+            format!("{}", m.latency.successes()),
+            format!("{:.2}", m.cpu_limit_series.mean()),
+            format!("{:.0}", m.mem_limit_series.mean()),
+            format!("{:.4}", cost.total()),
+            format!("{per_kilo:.4}"),
+        ]);
+        dump.push(CostRow {
+            driver: "image-process".into(),
+            policy: m.policy.clone(),
+            requests: m.latency.successes(),
+            cost_cpu: cost.cpu,
+            cost_mem: cost.mem,
+            cost_oom: cost.oom,
+            cost_total: cost.total(),
+            dollars_per_kilo_request: per_kilo,
+        });
+        eprintln!("  {} done", m.policy);
+    }
+    println!("{}", table.render());
+
+    // ---- GridSearch: end-to-end job latency + cost per policy ----
+    println!("GridSearch (one run per policy)");
+    let mut table = Table::new(vec![
+        "policy",
+        "job(s)",
+        "cpu lim mean",
+        "mem lim mean(MiB)",
+        "cost($)",
+        "$/1k req",
+    ]);
+    for mode in modes() {
+        let mut cfg = ServerlessConfig::grid_search(None, 100);
+        match mode {
+            Mode::Vanilla => {}
+            Mode::Baseline(kind) => cfg.baseline = Some(kind),
+            Mode::Escra => cfg.escra = Some(EscraConfig::default()),
+        }
+        let out = run_serverless(&cfg, &grid_search_task());
+        let m = &out.metrics;
+        let cost = model.run_cost(m);
+        let per_kilo = model.per_kilo_request(&cost, m.latency.successes());
+        table.row(vec![
+            m.policy.clone(),
+            format!(
+                "{:.1}",
+                out.job_latency.expect("job completes").as_secs_f64()
+            ),
+            format!("{:.2}", m.cpu_limit_series.mean()),
+            format!("{:.0}", m.mem_limit_series.mean()),
+            format!("{:.4}", cost.total()),
+            format!("{per_kilo:.4}"),
+        ]);
+        dump.push(CostRow {
+            driver: "grid-search".into(),
+            policy: m.policy.clone(),
+            requests: m.latency.successes(),
+            cost_cpu: cost.cpu,
+            cost_mem: cost.mem,
+            cost_oom: cost.oom,
+            cost_total: cost.total(),
+            dollars_per_kilo_request: per_kilo,
+        });
+        eprintln!("  {} done", m.policy);
+    }
+    println!("{}", table.render());
+
+    // ---- Trace-driven smoke: mega-mix population per policy ----
+    let (apps, minutes, nodes) = if smoke { (120, 2, 4) } else { (2_000, 4, 48) };
+    let population = synthetic_trace(&mega_mix(apps, minutes, SEED));
+    println!("Trace mega-mix smoke ({apps} apps, {minutes} min, {nodes} nodes)");
+    let mut table = Table::new(vec![
+        "policy",
+        "invocations",
+        "p99.9(ms)",
+        "OOMs",
+        "alloc core-s",
+        "alloc MiB-s",
+        "cost($)",
+        "$/1k req",
+    ]);
+    for mode in modes() {
+        let mut cfg = TraceSimConfig::paper_like(None, SEED, nodes);
+        match mode {
+            Mode::Vanilla => {}
+            Mode::Baseline(kind) => cfg.baseline = Some(kind),
+            Mode::Escra => {
+                cfg = TraceSimConfig::paper_like(Some(EscraConfig::default()), SEED, nodes)
+            }
+        }
+        let out = run_trace_sim(&population, &cfg);
+        let m = &out.metrics;
+        let cost = model.serverless_cost(&out.serverless, m.oom_kills);
+        let per_kilo = model.per_kilo_request(&cost, out.serverless.invocations);
+        table.row(vec![
+            m.policy.clone(),
+            format!("{}", out.serverless.invocations),
+            format!("{:.1}", m.latency.p(99.9)),
+            format!("{}", m.oom_kills),
+            format!("{:.0}", out.serverless.alloc_cpu_core_secs),
+            format!("{:.0}", out.serverless.alloc_mem_mib_secs),
+            format!("{:.4}", cost.total()),
+            format!("{per_kilo:.4}"),
+        ]);
+        dump.push(CostRow {
+            driver: "trace".into(),
+            policy: m.policy.clone(),
+            requests: out.serverless.invocations,
+            cost_cpu: cost.cpu,
+            cost_mem: cost.mem,
+            cost_oom: cost.oom,
+            cost_total: cost.total(),
+            dollars_per_kilo_request: per_kilo,
+        });
+        eprintln!("  {} done", m.policy);
+    }
+    println!("{}", table.render());
+
+    let path = write_json("baseline_serverless", &to_json(&dump));
+    println!("cost rows written to {}", path.display());
+}

@@ -1,6 +1,7 @@
 //! Regenerates **Fig. 4**: % decrease in 99.9 % latency and % increase
-//! in throughput of Escra vs Autopilot and vs Static-1.5×, for all four
-//! applications × four workloads.
+//! in throughput of Escra vs every baseline (Static-1.5×, Autopilot,
+//! tiny autoscaler, ARC-V), for all four applications × four
+//! workloads.
 
 use escra_bench::{parse_sweep_args, run_matrix_args, write_json};
 use escra_metrics::{to_json, Table};
@@ -24,28 +25,33 @@ fn main() {
         "dTput vs Static%",
         "dLat vs Autopilot%",
         "dTput vs Autopilot%",
+        "dLat vs Tiny%",
+        "dTput vs Tiny%",
+        "dLat vs ARC-V%",
+        "dTput vs ARC-V%",
     ]);
     let mut bars = Vec::new();
     for c in &cells {
         let lat = |m: &escra_metrics::RunMetrics| m.latency.p(99.9);
-        let d_lat_static = (lat(&c.static_1_5) - lat(&c.escra)) / lat(&c.static_1_5) * 100.0;
-        let d_tput_static =
-            (c.escra.throughput() - c.static_1_5.throughput()) / c.static_1_5.throughput() * 100.0;
-        let d_lat_ap = (lat(&c.autopilot) - lat(&c.escra)) / lat(&c.autopilot) * 100.0;
-        let d_tput_ap =
-            (c.escra.throughput() - c.autopilot.throughput()) / c.autopilot.throughput() * 100.0;
-        table.row(vec![
-            c.app.into(),
-            c.workload.into(),
-            format!("{d_lat_static:.1}"),
-            format!("{d_tput_static:.1}"),
-            format!("{d_lat_ap:.1}"),
-            format!("{d_tput_ap:.1}"),
-        ]);
-        for (vs, dl, dt) in [
-            ("static-1.5x", d_lat_static, d_tput_static),
-            ("autopilot", d_lat_ap, d_tput_ap),
-        ] {
+        let deltas = |m: &escra_metrics::RunMetrics| {
+            (
+                (lat(m) - lat(&c.escra)) / lat(m) * 100.0,
+                (c.escra.throughput() - m.throughput()) / m.throughput() * 100.0,
+            )
+        };
+        let baselines = [
+            ("static-1.5x", deltas(&c.static_1_5)),
+            ("autopilot", deltas(&c.autopilot)),
+            ("tiny", deltas(&c.tiny)),
+            ("arc-v", deltas(&c.arc_v)),
+        ];
+        let mut row = vec![c.app.to_string(), c.workload.to_string()];
+        for &(_, (dl, dt)) in &baselines {
+            row.push(format!("{dl:.1}"));
+            row.push(format!("{dt:.1}"));
+        }
+        table.row(row);
+        for (vs, (dl, dt)) in baselines {
             bars.push(Bar {
                 app: c.app.into(),
                 workload: c.workload.into(),

@@ -1,9 +1,12 @@
 //! Regenerates **Table I**: average performance increase and average
-//! slack reduction, Static-1.5× vs Escra and Autopilot vs Escra, over
-//! the 4 apps × 4 workloads matrix. Also prints the §VI-E OOM counts
-//! (Escra must be zero; baselines may OOM).
+//! slack reduction, every baseline (Static-1.5×, Autopilot, tiny
+//! autoscaler, ARC-V) vs Escra, over the 4 apps × 4 workloads matrix.
+//! Every per-cell row also carries the cost-efficiency columns
+//! (normalized $ and $/1k requests under the default cost model).
+//! Also prints the §VI-E OOM counts (Escra must be zero; baselines may
+//! OOM).
 
-use escra_bench::{parse_sweep_args, run_matrix_args, write_json};
+use escra_bench::{cost_columns, parse_sweep_args, run_matrix_args, write_json};
 use escra_metrics::{to_json, Comparison, Table};
 
 fn mean(xs: &[f64]) -> f64 {
@@ -26,13 +29,18 @@ fn main() {
         "cpu p50 slack",
         "mem p50 slack(MiB)",
         "OOMs",
+        "cost($)",
+        "$/1k req",
     ]);
     let mut static_cmps = Vec::new();
     let mut autopilot_cmps = Vec::new();
+    let mut tiny_cmps = Vec::new();
+    let mut arc_v_cmps = Vec::new();
     let mut escra_ooms = 0;
     let mut autopilot_ooms_max = 0;
     for c in &cells {
-        for m in [&c.static_1_5, &c.autopilot, &c.escra] {
+        for m in c.runs() {
+            let (cost, per_kilo) = cost_columns(m);
             per_cell.row(vec![
                 c.app.into(),
                 c.workload.into(),
@@ -42,14 +50,18 @@ fn main() {
                 format!("{:.2}", m.slack.cpu_p(50.0)),
                 format!("{:.0}", m.slack.mem_p(50.0)),
                 format!("{}", m.oom_kills),
+                cost,
+                per_kilo,
             ]);
         }
         static_cmps.push(Comparison::between(&c.static_1_5, &c.escra));
         autopilot_cmps.push(Comparison::between(&c.autopilot, &c.escra));
+        tiny_cmps.push(Comparison::between(&c.tiny, &c.escra));
+        arc_v_cmps.push(Comparison::between(&c.arc_v, &c.escra));
         escra_ooms += c.escra.oom_kills;
         autopilot_ooms_max = autopilot_ooms_max.max(c.autopilot.oom_kills);
     }
-    println!("Per-cell results ({} cells x 3 policies):\n", cells.len());
+    println!("Per-cell results ({} cells x 5 policies):\n", cells.len());
     println!("{}", per_cell.render());
 
     let summarize = |name: &str, cmps: &[Comparison]| -> Vec<String> {
@@ -122,6 +134,8 @@ fn main() {
     ]);
     table1.row(summarize("Static vs. Escra", &static_cmps));
     table1.row(summarize("Autopilot vs. Escra", &autopilot_cmps));
+    table1.row(summarize("Tiny vs. Escra", &tiny_cmps));
+    table1.row(summarize("ARC-V vs. Escra", &arc_v_cmps));
     println!("TABLE I (paper: Static row = 38.0/25.4/81.3/74.2/55.0/95.9; Autopilot row = 36.1/54.5/78.3/78.6/26.7/68.9):\n");
     println!("{}", table1.render());
 
@@ -129,7 +143,16 @@ fn main() {
     println!("  escra total OOMs: {escra_ooms}");
     println!("  autopilot max OOMs in one experiment: {autopilot_ooms_max}");
 
-    let dump: Vec<_> = static_cmps.iter().zip(autopilot_cmps.iter()).collect();
+    let dump: Vec<_> = (0..static_cmps.len())
+        .map(|i| {
+            (
+                &static_cmps[i],
+                &autopilot_cmps[i],
+                &tiny_cmps[i],
+                &arc_v_cmps[i],
+            )
+        })
+        .collect();
     let path = write_json("table1", &to_json(&dump));
     println!("\nraw comparisons written to {}", path.display());
 }

@@ -106,7 +106,7 @@ pub fn paper_apps_named() -> Vec<(&'static str, MicroserviceApp)> {
     ]
 }
 
-/// Results of one (app, workload) cell under the three compared policies.
+/// Results of one (app, workload) cell under the five compared policies.
 #[derive(Debug, serde::Serialize)]
 pub struct CellResult {
     /// Application display name.
@@ -119,6 +119,23 @@ pub struct CellResult {
     pub static_1_5: RunMetrics,
     /// Autopilot (1 s best case) run.
     pub autopilot: RunMetrics,
+    /// Tiny-autoscaler (window-percentile predictor) run.
+    pub tiny: RunMetrics,
+    /// ARC-V (phase-aware in-place vertical scaling) run.
+    pub arc_v: RunMetrics,
+}
+
+impl CellResult {
+    /// The cell's runs in display order (baselines first, Escra last).
+    pub fn runs(&self) -> [&RunMetrics; 5] {
+        [
+            &self.static_1_5,
+            &self.autopilot,
+            &self.tiny,
+            &self.arc_v,
+            &self.escra,
+        ]
+    }
 }
 
 /// Runs one cell: a single profiling pre-run shared by the baselines,
@@ -149,6 +166,8 @@ pub fn run_cell(
         escra: run_policy(Policy::escra_default()),
         static_1_5: run_policy(Policy::static_1_5x()),
         autopilot: run_policy(Policy::autopilot_default()),
+        tiny: run_policy(Policy::tiny_default()),
+        arc_v: run_policy(Policy::arc_v_default()),
     }
 }
 
@@ -207,8 +226,9 @@ fn matrix_cell_fn(duration_secs: u64, seed: u64) -> impl Fn(&Scenario<MatrixCell
 }
 
 /// Runs the full 4 × 4 matrix (the paper's 16 microservice cells ×
-/// 3 policies — its "all 32 experiments" are these runs for the two
-/// baseline comparisons) on the deterministic parallel sweep runner.
+/// 5 policies — its "all 32 experiments" are these runs for the two
+/// paper baseline comparisons; tiny/ARC-V extend the same grid) on the
+/// deterministic parallel sweep runner.
 pub fn run_matrix(duration_secs: u64, seed: u64) -> Vec<CellResult> {
     run_matrix_on(duration_secs, seed, default_threads())
 }
@@ -302,6 +322,19 @@ pub fn run_cells_args(cells: Vec<MatrixCell>, args: &SweepArgs) -> Vec<CellResul
     results
 }
 
+/// Formats the cost-efficiency columns shared by every table-rendering
+/// binary: total run cost in normalized dollars and dollars per
+/// 1 000 successful requests, both under the default [`CostModel`]
+/// (see `DESIGN.md` §13).
+///
+/// [`CostModel`]: escra_metrics::CostModel
+pub fn cost_columns(m: &RunMetrics) -> (String, String) {
+    let model = escra_metrics::CostModel::default();
+    let cost = model.run_cost(m);
+    let per_kilo = model.per_kilo_request(&cost, m.latency.successes());
+    (format!("{:.4}", cost.total()), format!("{per_kilo:.4}"))
+}
+
 /// Writes an artifact's JSON dump under `target/escra-results/`.
 pub fn write_json(name: &str, json: &str) -> std::path::PathBuf {
     let dir = std::path::Path::new("target").join("escra-results");
@@ -335,5 +368,14 @@ mod tests {
         assert!(cell.escra.latency.successes() > 800);
         assert!(cell.static_1_5.latency.successes() > 800);
         assert!(cell.autopilot.latency.successes() > 600);
+        assert!(cell.tiny.latency.successes() > 600);
+        assert!(cell.arc_v.latency.successes() > 600);
+        for m in cell.runs() {
+            let (cost, per_kilo) = cost_columns(m);
+            let cost: f64 = cost.parse().expect("cost is numeric");
+            let per_kilo: f64 = per_kilo.parse().expect("$/1k req is numeric");
+            assert!(cost > 0.0 && cost.is_finite(), "{}: cost {cost}", m.policy);
+            assert!(per_kilo > 0.0 && per_kilo.is_finite());
+        }
     }
 }

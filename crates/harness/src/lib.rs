@@ -5,7 +5,7 @@
 //!
 //! * [`queueing`] — fluid FIFO queue draining (throttling → latency);
 //! * [`policy`] — the policies under test (Escra / Static / Autopilot /
-//!   VPA);
+//!   VPA / tiny autoscaler / ARC-V);
 //! * [`microsim`] — the microservice experiment loop (Figs. 4–6,
 //!   Table I, §VI-I overheads);
 //! * [`serverless_sim`] — the OpenWhisk-style invoker loop
@@ -31,6 +31,6 @@ pub use microsim::{
     controller_addr, node_addr, profile_run, run, run_with_profiles, MicroSimConfig,
     MicroSimOutput, ReportPlan, SimEngine, SimPhysics, SimStats,
 };
-pub use policy::Policy;
+pub use policy::{BaselineScalerKind, Policy};
 pub use sweep::{default_threads, run_serial, run_sweep, scenario_seed, scenarios, Scenario};
 pub use trace_sim::{run_trace_sim, TraceSimConfig, TraceSimOutput};

@@ -45,8 +45,8 @@
 use crate::policy::Policy;
 use crate::queueing::{backlog_us, cull_queue, drain_fifo, StageJob};
 use escra_baselines::{
-    AutopilotScaler, ContainerProfile, LimitUpdate, PeriodicScaler, StaticPolicy, UsageSample,
-    VpaScaler,
+    validate_observation, ArcVScaler, AutopilotScaler, ContainerProfile, LimitUpdate,
+    PeriodicScaler, StaticPolicy, TinyAutoscaler, UsageSample, VpaScaler,
 };
 use escra_cfs::{node::arbitrate, ChargeOutcome, MIB};
 use escra_cluster::AppId;
@@ -714,6 +714,50 @@ impl<'a> Sim<'a> {
                         scaler: Box::new(scaler),
                         update_every_secs,
                         restart_on_update: true,
+                    };
+                }
+                Policy::Tiny(tcfg) => {
+                    period = SimDuration::from_millis(100);
+                    assert_eq!(profiles.len(), n, "tiny autoscaler needs profiles");
+                    let mut scaler = TinyAutoscaler::new(*tcfg);
+                    for (i, spec) in specs.into_iter().enumerate() {
+                        let p = &profiles[i];
+                        let cpu = p.peak_cpu_cores.max(0.1);
+                        let mem = p
+                            .peak_mem_bytes
+                            .max(cfg.app.tiers[tier_of[i]].mem_base_mib * MIB + 16 * MIB);
+                        let spec = spec.with_cpu_limit(cpu).with_mem_limit(mem);
+                        let id = cluster.deploy(spec, SimTime::ZERO).expect("deploy");
+                        scaler.track(id, cpu, mem);
+                        containers.push(id);
+                    }
+                    let update_every_secs = (tcfg.update_period.as_micros() / 1_000_000).max(1);
+                    mode = Mode::Periodic {
+                        scaler: Box::new(scaler),
+                        update_every_secs,
+                        restart_on_update: false, // in-place, like Autopilot
+                    };
+                }
+                Policy::ArcV(acfg) => {
+                    period = SimDuration::from_millis(100);
+                    assert_eq!(profiles.len(), n, "arc-v needs profiles");
+                    let mut scaler = ArcVScaler::new(*acfg);
+                    for (i, spec) in specs.into_iter().enumerate() {
+                        let p = &profiles[i];
+                        let cpu = p.peak_cpu_cores.max(0.1);
+                        let mem = p
+                            .peak_mem_bytes
+                            .max(cfg.app.tiers[tier_of[i]].mem_base_mib * MIB + 16 * MIB);
+                        let spec = spec.with_cpu_limit(cpu).with_mem_limit(mem);
+                        let id = cluster.deploy(spec, SimTime::ZERO).expect("deploy");
+                        scaler.track(id, cpu, mem);
+                        containers.push(id);
+                    }
+                    let update_every_secs = (acfg.update_period.as_micros() / 1_000_000).max(1);
+                    mode = Mode::Periodic {
+                        scaler: Box::new(scaler),
+                        update_every_secs,
+                        restart_on_update: false, // ARC-V's in-place premise
                     };
                 }
             }
@@ -1392,13 +1436,14 @@ impl<'a> Sim<'a> {
                 // with the workload, not during the idle warm-up).
                 if next_second > warmup_end {
                     if let Mode::Periodic { scaler, .. } = &mut self.mode {
-                        scaler.observe(
-                            self.containers[idx],
-                            UsageSample {
-                                cpu_cores: usage_cores,
-                                mem_bytes: mem_usage,
-                            },
-                        );
+                        let sample = UsageSample {
+                            cpu_cores: usage_cores,
+                            mem_bytes: mem_usage,
+                        };
+                        // The harness knows the physical node capacity;
+                        // catch malformed telemetry before the scaler.
+                        validate_observation(&sample, self.cfg.node_cores as f64);
+                        scaler.observe(self.containers[idx], sample);
                     }
                 }
                 self.usage_sec_us[idx] = 0.0;
@@ -1736,8 +1781,9 @@ fn pump_control_plane(
     }
 }
 
-/// Applies baseline limit updates directly to cgroups.
-fn apply_limit_updates(
+/// Applies baseline limit updates directly to cgroups. Shared with the
+/// serverless/trace drivers' baseline-scaler modes.
+pub(crate) fn apply_limit_updates(
     cluster: &mut Cluster,
     updates: &[LimitUpdate],
     restart: bool,

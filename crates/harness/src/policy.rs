@@ -1,7 +1,11 @@
 //! The policies an experiment can run under.
 
-use escra_baselines::{AutopilotConfig, VpaConfig};
+use escra_baselines::{
+    ArcVConfig, ArcVScaler, AutopilotConfig, PeriodicScaler, TinyAutoscaler, TinyAutoscalerConfig,
+    VpaConfig,
+};
 use escra_core::EscraConfig;
+use escra_simcore::time::SimDuration;
 
 /// Which allocation policy manages the containers during a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +21,11 @@ pub enum Policy {
     Autopilot(AutopilotConfig),
     /// A VPA-style threshold autoscaler with restart semantics.
     Vpa(VpaConfig),
+    /// A tiny-autoscaler-style window-percentile predictor (per-function
+    /// VPA imitation, Zhao & Uta).
+    Tiny(TinyAutoscalerConfig),
+    /// ARC-V-style phase-aware in-place vertical scaling.
+    ArcV(ArcVConfig),
 }
 
 impl Policy {
@@ -35,6 +44,16 @@ impl Policy {
         Policy::Autopilot(AutopilotConfig::default())
     }
 
+    /// The tiny autoscaler at its default window/percentile/headroom.
+    pub fn tiny_default() -> Self {
+        Policy::Tiny(TinyAutoscalerConfig::default())
+    }
+
+    /// ARC-V at its default phase thresholds and cooldown.
+    pub fn arc_v_default() -> Self {
+        Policy::ArcV(ArcVConfig::default())
+    }
+
     /// Short name used in reports ("escra", "static-1.5x", ...).
     pub fn name(&self) -> String {
         match self {
@@ -44,6 +63,8 @@ impl Policy {
                 format!("autopilot-{}s", c.update_period.as_millis() as f64 / 1000.0)
             }
             Policy::Vpa(_) => "vpa".into(),
+            Policy::Tiny(_) => "tiny".into(),
+            Policy::ArcV(_) => "arc-v".into(),
         }
     }
 
@@ -51,8 +72,50 @@ impl Policy {
     pub fn needs_profile(&self) -> bool {
         matches!(
             self,
-            Policy::Static { .. } | Policy::Autopilot(_) | Policy::Vpa(_)
+            Policy::Static { .. }
+                | Policy::Autopilot(_)
+                | Policy::Vpa(_)
+                | Policy::Tiny(_)
+                | Policy::ArcV(_)
         )
+    }
+}
+
+/// A baseline scaler the serverless/trace drivers can run *instead of*
+/// the Escra controller: the subset of [`Policy`] whose impls manage a
+/// dynamic pod population purely through the
+/// [`PeriodicScaler`] trait (track/observe/recommend/forget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaselineScalerKind {
+    /// The tiny-autoscaler window-percentile predictor.
+    Tiny(TinyAutoscalerConfig),
+    /// ARC-V phase-aware in-place scaling.
+    ArcV(ArcVConfig),
+}
+
+impl BaselineScalerKind {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineScalerKind::Tiny(_) => "tiny",
+            BaselineScalerKind::ArcV(_) => "arc-v",
+        }
+    }
+
+    /// Instantiates the scaler.
+    pub fn build(&self) -> Box<dyn PeriodicScaler> {
+        match self {
+            BaselineScalerKind::Tiny(cfg) => Box::new(TinyAutoscaler::new(*cfg)),
+            BaselineScalerKind::ArcV(cfg) => Box::new(ArcVScaler::new(*cfg)),
+        }
+    }
+
+    /// The scaler's recommendation period.
+    pub fn update_period(&self) -> SimDuration {
+        match self {
+            BaselineScalerKind::Tiny(cfg) => cfg.update_period,
+            BaselineScalerKind::ArcV(cfg) => cfg.update_period,
+        }
     }
 }
 
@@ -66,6 +129,8 @@ mod tests {
         assert_eq!(Policy::static_1_5x().name(), "static-1.5x");
         assert_eq!(Policy::autopilot_default().name(), "autopilot-1s");
         assert_eq!(Policy::Vpa(VpaConfig::default()).name(), "vpa");
+        assert_eq!(Policy::tiny_default().name(), "tiny");
+        assert_eq!(Policy::arc_v_default().name(), "arc-v");
     }
 
     #[test]
@@ -73,5 +138,21 @@ mod tests {
         assert!(!Policy::escra_default().needs_profile());
         assert!(Policy::static_1_5x().needs_profile());
         assert!(Policy::autopilot_default().needs_profile());
+        assert!(Policy::tiny_default().needs_profile());
+        assert!(Policy::arc_v_default().needs_profile());
+    }
+
+    #[test]
+    fn baseline_scaler_kinds_build() {
+        let tiny = BaselineScalerKind::Tiny(TinyAutoscalerConfig::default());
+        let arc = BaselineScalerKind::ArcV(ArcVConfig::default());
+        assert_eq!(tiny.name(), "tiny");
+        assert_eq!(arc.name(), "arc-v");
+        assert!(!tiny.update_period().is_zero());
+        assert!(!arc.update_period().is_zero());
+        let mut s = tiny.build();
+        assert!(s.recommend().is_empty(), "no observations yet");
+        let mut s = arc.build();
+        assert!(s.recommend().is_empty());
     }
 }

@@ -13,7 +13,9 @@
 //! executing empty windows (see [`ServerlessConfig::fast_forward_idle`]),
 //! so the long inter-iteration gaps of ImageProcess cost almost nothing.
 
-use crate::microsim::agent_for;
+use crate::microsim::{agent_for, apply_limit_updates};
+use crate::policy::BaselineScalerKind;
+use escra_baselines::{PeriodicScaler, UsageSample};
 use escra_cfs::{node::arbitrate, ChargeOutcome, MIB};
 use escra_cluster::{AppId, Cluster, ContainerId, ContainerSpec, ContainerState, NodeSpec};
 use escra_core::telemetry::{ToController, CPU_STATS_WIRE_BYTES, OOM_EVENT_WIRE_BYTES};
@@ -51,6 +53,10 @@ pub struct ServerlessConfig {
     pub openwhisk: OpenWhiskConfig,
     /// `Some` enables Escra management of the namespace.
     pub escra: Option<EscraConfig>,
+    /// `Some` runs a [`PeriodicScaler`] baseline (tiny autoscaler or
+    /// ARC-V) over the pod population instead — mutually exclusive with
+    /// `escra`.
+    pub baseline: Option<BaselineScalerKind>,
     /// Scales the Escra global limits (the paper's "80 % fewer
     /// cores/MiB" GridSearch case uses 0.8).
     pub resource_scale: f64,
@@ -81,6 +87,7 @@ impl ServerlessConfig {
                 c.max_quota_growth_factor = 2.5;
                 c
             }),
+            baseline: None,
             resource_scale: 1.0,
             seed,
             worker_nodes: 3,
@@ -95,6 +102,7 @@ impl ServerlessConfig {
             app: ServerlessApp::GridSearch,
             openwhisk: OpenWhiskConfig::default(),
             escra,
+            baseline: None,
             resource_scale: 1.0,
             seed,
             worker_nodes: 4,
@@ -134,6 +142,9 @@ enum PodState {
 struct Pod {
     cid: ContainerId,
     state: PodState,
+    /// CPU-time consumed since the last 1 s sample, in µs — the usage
+    /// integral a baseline [`PeriodicScaler`] observes.
+    sec_usage_us: f64,
 }
 
 /// The serverless heap event: a window close. All pod activity is
@@ -180,12 +191,25 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
     });
     let mut agents: Vec<Agent> = cluster.nodes().iter().map(|n| Agent::new(n.id())).collect();
 
+    assert!(
+        cfg.escra.is_none() || cfg.baseline.is_none(),
+        "escra and a baseline scaler are mutually exclusive"
+    );
+    let mut scaler: Option<Box<dyn PeriodicScaler>> = cfg.baseline.as_ref().map(|k| k.build());
+    let scaler_update_secs = cfg
+        .baseline
+        .as_ref()
+        .map(|k| (k.update_period().as_micros() / 1_000_000).max(1))
+        .unwrap_or(1);
+
     let mut pods: Vec<Pod> = Vec::new();
     let mut pending: VecDeque<SimTime> = VecDeque::new(); // activation arrivals
     let mut metrics = RunMetrics::new(if cfg.escra.is_some() {
-        "escra-openwhisk"
+        "escra-openwhisk".to_string()
+    } else if let Some(k) = &cfg.baseline {
+        format!("{}-openwhisk", k.name())
     } else {
-        "openwhisk"
+        "openwhisk".to_string()
     });
     let mut peak_pods = 0usize;
     let mut job = match cfg.app {
@@ -224,6 +248,7 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                 cfg,
                 app_id,
                 &mut controller,
+                &mut scaler,
                 &mut agents,
                 &mut accountant,
                 SimTime::ZERO,
@@ -298,6 +323,7 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                 cfg,
                 app_id,
                 &mut controller,
+                &mut scaler,
                 &mut agents,
                 &mut accountant,
                 t,
@@ -456,6 +482,12 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                         pods[pi].state = PodState::Starting;
                     }
                 } else {
+                    if let Some(s) = scaler.as_mut() {
+                        // Tell the baseline so its next recommendation
+                        // can raise the memory limit.
+                        let limit = cluster.container(cid).expect("pod").mem.limit_bytes();
+                        s.on_oom(cid, limit);
+                    }
                     cluster.oom_kill(cid, t_next).expect("pod exists");
                     if matches!(pods[pi].state, PodState::Exec { .. } | PodState::Io { .. }) {
                         if let Some(job) = job.as_mut() {
@@ -467,10 +499,11 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
             }
         }
 
-        // Telemetry + reclamation (Escra).
-        for pod in pods.iter() {
+        // Telemetry + reclamation (Escra) / usage integration (baseline).
+        for pod in pods.iter_mut() {
             let c = cluster.container_mut(pod.cid).expect("pod");
             let stats = c.cpu.end_period();
+            pod.sec_usage_us += stats.usage_us;
             if let Some(ctl) = controller.as_mut() {
                 if matches!(
                     cluster.container(pod.cid).expect("pod").state(),
@@ -509,6 +542,9 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
             if let Some(ctl) = controller.as_mut() {
                 let _ = ctl.deregister_container(cid);
             }
+            if let Some(s) = scaler.as_mut() {
+                s.forget(cid);
+            }
             // Drop the agents' high-water seq entries with the pod: a
             // reused ContainerId (e.g. after a controller restart or
             // under a different shard's seq space) must start fresh
@@ -519,11 +555,12 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
             pods.swap_remove(pi);
         }
 
-        // Per-second aggregate limits + slack sampling.
+        // Per-second aggregate limits + slack sampling (and, in the
+        // baseline-scaler mode, the observe → recommend → apply loop).
         while next_second <= t_next {
             let mut agg_cpu = 0.0;
             let mut agg_mem = 0.0;
-            for pod in pods.iter() {
+            for pod in pods.iter_mut() {
                 let c = cluster.container(pod.cid).expect("pod");
                 agg_cpu += c.cpu.quota_cores();
                 agg_mem += c.mem.limit_bytes() as f64 / MIB as f64;
@@ -531,8 +568,28 @@ pub fn run_serverless(cfg: &ServerlessConfig, profile: &ActionProfile) -> Server
                     (c.cpu.quota_cores()).max(0.0),
                     c.mem.limit_bytes().saturating_sub(c.mem.usage_bytes()) as f64 / MIB as f64,
                 );
+                if let Some(s) = scaler.as_mut() {
+                    s.observe(
+                        pod.cid,
+                        UsageSample {
+                            cpu_cores: pod.sec_usage_us / 1e6,
+                            mem_bytes: c.mem.usage_bytes(),
+                        },
+                    );
+                    pod.sec_usage_us = 0.0;
+                }
             }
             metrics.record_limits(next_second, agg_cpu, agg_mem);
+            if let Some(s) = scaler.as_mut() {
+                // Cadence keyed to absolute seconds, so idle
+                // fast-forward (which skips this loop) cannot drift the
+                // recommendation phase.
+                let sec = next_second.duration_since(SimTime::ZERO).as_micros() / 1_000_000;
+                if sec.is_multiple_of(scaler_update_secs) {
+                    let updates = s.recommend();
+                    apply_limit_updates(&mut cluster, &updates, false, next_second);
+                }
+            }
             next_second += SimDuration::from_secs(1);
         }
 
@@ -589,6 +646,7 @@ fn spawn_pod(
     cfg: &ServerlessConfig,
     app_id: AppId,
     controller: &mut Option<Controller>,
+    scaler: &mut Option<Box<dyn PeriodicScaler>>,
     agents: &mut [Agent],
     accountant: &mut BandwidthAccountant,
     now: SimTime,
@@ -612,9 +670,17 @@ fn spawn_pod(
             drive_actions(cluster, agents, ctl, actions, now);
         }
     }
+    if let Some(s) = scaler.as_mut() {
+        s.track(
+            cid,
+            cfg.openwhisk.pod_cpu_cores,
+            cfg.openwhisk.pod_mem_mib * MIB,
+        );
+    }
     pods.push(Pod {
         cid,
         state: PodState::Starting,
+        sec_usage_us: 0.0,
     });
 }
 
@@ -706,6 +772,51 @@ mod tests {
             e_lat < v_lat * 1.25,
             "escra latency {e_lat} vs vanilla {v_lat}"
         );
+    }
+
+    #[test]
+    fn baseline_scalers_run_and_trim_reservations() {
+        use escra_baselines::{ArcVConfig, TinyAutoscalerConfig};
+        let vanilla = short_image_process(false);
+        for kind in [
+            BaselineScalerKind::Tiny(TinyAutoscalerConfig::default()),
+            BaselineScalerKind::ArcV(ArcVConfig::default()),
+        ] {
+            let cfg = ServerlessConfig {
+                app: ServerlessApp::ImageProcess { iterations: 1 },
+                baseline: Some(kind),
+                ..ServerlessConfig::image_process(None, 7)
+            };
+            let out = run_serverless(&cfg, &image_process());
+            assert_eq!(
+                out.metrics.policy,
+                format!("{}-openwhisk", kind.name()),
+                "policy label"
+            );
+            assert!(
+                out.metrics.latency.successes() > 600,
+                "{}: successes {}",
+                kind.name(),
+                out.metrics.latency.successes()
+            );
+            // Both scalers right-size memory below the static 256 MiB
+            // pods (actions use ~1.2 cores, so CPU limits legitimately
+            // sit near or above the static 1 vCPU — the win is memory).
+            let base = vanilla.metrics.mem_limit_series.mean();
+            let ours = out.metrics.mem_limit_series.mean();
+            assert!(
+                ours < base,
+                "{}: mean mem limit {ours} MiB should undercut vanilla {base} MiB",
+                kind.name()
+            );
+            let cpu = out.metrics.cpu_limit_series.mean();
+            let cpu_base = vanilla.metrics.cpu_limit_series.mean();
+            assert!(
+                cpu > 0.0 && cpu < cpu_base * 2.0,
+                "{}: mean cpu limit {cpu} out of band (vanilla {cpu_base})",
+                kind.name()
+            );
+        }
     }
 
     #[test]

@@ -28,8 +28,10 @@
 //! arrival (piecewise-constant rate from the trace's per-minute grid;
 //! the per-minute restart is exact by memorylessness).
 
-use crate::microsim::ReportPlan;
+use crate::microsim::{apply_limit_updates, ReportPlan};
+use crate::policy::BaselineScalerKind;
 use crate::serverless_sim::drive_actions;
+use escra_baselines::{PeriodicScaler, UsageSample};
 use escra_cfs::{node::arbitrate, ChargeOutcome, MIB};
 use escra_cluster::{AppId, Cluster, ContainerId, ContainerSpec, ContainerState, NodeSpec};
 use escra_core::telemetry::{
@@ -55,6 +57,9 @@ pub struct TraceSimConfig {
     /// `Some` enables Escra management (one Distributed Container per
     /// traced app); `None` runs static per-pod limits.
     pub escra: Option<EscraConfig>,
+    /// `Some` runs a [`PeriodicScaler`] baseline (tiny autoscaler or
+    /// ARC-V) over the pod population — mutually exclusive with `escra`.
+    pub baseline: Option<BaselineScalerKind>,
     /// Master seed; all per-app arrival/duration streams fork from it.
     pub seed: u64,
     /// Worker nodes.
@@ -94,6 +99,7 @@ impl TraceSimConfig {
                 c.max_quota_growth_factor = 2.5;
                 c
             }),
+            baseline: None,
             seed,
             nodes,
             node_cores: 48,
@@ -155,6 +161,9 @@ enum PodState {
 struct PodRt {
     cid: ContainerId,
     state: PodState,
+    /// CPU-time consumed since the last 1 s sample, in µs — the usage
+    /// integral a baseline [`PeriodicScaler`] observes.
+    sec_usage_us: f64,
 }
 
 #[derive(Debug)]
@@ -207,6 +216,8 @@ struct TraceSim<'a> {
     end: SimTime,
     cluster: Cluster,
     controller: Option<Controller>,
+    scaler: Option<Box<dyn PeriodicScaler>>,
+    scaler_update_secs: u64,
     agents: Vec<Agent>,
     apps: Vec<AppRt>,
     active: Vec<usize>,
@@ -237,6 +248,10 @@ pub fn run_trace_sim(workload: &TraceWorkload, cfg: &TraceSimConfig) -> TraceSim
 
 impl<'a> TraceSim<'a> {
     fn new(workload: &'a TraceWorkload, cfg: &'a TraceSimConfig) -> Self {
+        assert!(
+            cfg.escra.is_none() || cfg.baseline.is_none(),
+            "escra and a baseline scaler are mutually exclusive"
+        );
         let period = cfg
             .escra
             .as_ref()
@@ -320,6 +335,12 @@ impl<'a> TraceSim<'a> {
             end,
             cluster,
             controller,
+            scaler: cfg.baseline.as_ref().map(|k| k.build()),
+            scaler_update_secs: cfg
+                .baseline
+                .as_ref()
+                .map(|k| (k.update_period().as_micros() / 1_000_000).max(1))
+                .unwrap_or(1),
             agents,
             apps,
             active: Vec::new(),
@@ -328,9 +349,11 @@ impl<'a> TraceSim<'a> {
             node_period,
             node_exec: vec![Vec::new(); n_nodes],
             metrics: RunMetrics::new(if cfg.escra.is_some() {
-                "escra-trace"
+                "escra-trace".to_string()
+            } else if let Some(k) = &cfg.baseline {
+                format!("{}-trace", k.name())
             } else {
-                "static-trace"
+                "static-trace".to_string()
             }),
             serverless: ServerlessStats::new(),
             next_second: SimTime::from_secs(1),
@@ -541,6 +564,8 @@ impl<'a> TraceSim<'a> {
                 let cid = self.apps[ai].pods[pi].cid;
                 let c = self.cluster.container_mut(cid).expect("pod container");
                 let stats = c.cpu.end_period();
+                self.apps[ai].pods[pi].sec_usage_us += stats.usage_us;
+                let c = self.cluster.container(cid).expect("pod container");
                 if !matches!(c.state(), ContainerState::Running) {
                     continue;
                 }
@@ -551,6 +576,12 @@ impl<'a> TraceSim<'a> {
                     c.cpu.quota_cores() * window_secs - stats.usage_us / 1e6,
                     (c.mem.limit_bytes().saturating_sub(c.mem.usage_bytes())) as f64 / MIB as f64
                         * window_secs,
+                );
+                // The billing integral: what the pod *reserves* this
+                // window, priced by metrics::cost.
+                self.serverless.record_allocated(
+                    c.cpu.quota_cores() * window_secs,
+                    c.mem.limit_bytes() as f64 / MIB as f64 * window_secs,
                 );
                 if self.controller.is_some() {
                     let node = c.node().as_u64() as usize;
@@ -580,6 +611,9 @@ impl<'a> TraceSim<'a> {
                     if let Some(ctl) = self.controller.as_mut() {
                         let _ = ctl.deregister_container(cid);
                     }
+                    if let Some(s) = self.scaler.as_mut() {
+                        s.forget(cid);
+                    }
                     for agent in self.agents.iter_mut() {
                         agent.forget_container(cid);
                     }
@@ -591,13 +625,14 @@ impl<'a> TraceSim<'a> {
             }
         }
 
-        // Per-second aggregate limits + slack sampling.
+        // Per-second aggregate limits + slack sampling (and, in the
+        // baseline-scaler mode, the observe → recommend → apply loop).
         while self.next_second <= t_next {
             let mut agg_cpu = 0.0;
             let mut agg_mem = 0.0;
             for k in 0..self.active.len() {
                 let ai = self.active[k];
-                for pod in &self.apps[ai].pods {
+                for pod in &mut self.apps[ai].pods {
                     let c = self.cluster.container(pod.cid).expect("pod container");
                     agg_cpu += c.cpu.quota_cores();
                     agg_mem += c.mem.limit_bytes() as f64 / MIB as f64;
@@ -605,10 +640,30 @@ impl<'a> TraceSim<'a> {
                         c.cpu.quota_cores().max(0.0),
                         c.mem.limit_bytes().saturating_sub(c.mem.usage_bytes()) as f64 / MIB as f64,
                     );
+                    if let Some(s) = self.scaler.as_mut() {
+                        s.observe(
+                            pod.cid,
+                            UsageSample {
+                                cpu_cores: pod.sec_usage_us / 1e6,
+                                mem_bytes: c.mem.usage_bytes(),
+                            },
+                        );
+                        pod.sec_usage_us = 0.0;
+                    }
                 }
             }
             self.metrics
                 .record_limits(self.next_second, agg_cpu, agg_mem);
+            if let Some(s) = self.scaler.as_mut() {
+                // Cadence keyed to absolute seconds, so idle
+                // fast-forward (which skips this loop) cannot drift the
+                // recommendation phase.
+                let sec = self.next_second.duration_since(SimTime::ZERO).as_micros() / 1_000_000;
+                if sec.is_multiple_of(self.scaler_update_secs) {
+                    let updates = s.recommend();
+                    apply_limit_updates(&mut self.cluster, &updates, false, self.next_second);
+                }
+            }
             self.next_second += SimDuration::from_secs(1);
         }
 
@@ -716,6 +771,12 @@ impl<'a> TraceSim<'a> {
             }
             killed
         } else {
+            if let Some(s) = self.scaler.as_mut() {
+                // Tell the baseline so its next recommendation can
+                // raise the memory limit.
+                let limit = self.cluster.container(cid).expect("pod").mem.limit_bytes();
+                s.on_oom(cid, limit);
+            }
             self.cluster.oom_kill(cid, now).expect("pod exists");
             true
         };
@@ -786,9 +847,13 @@ impl<'a> TraceSim<'a> {
                 drive_actions(&mut self.cluster, &mut self.agents, ctl, actions, now);
             }
         }
+        if let Some(s) = self.scaler.as_mut() {
+            s.track(cid, self.cfg.pod_cpu_cores, app.mem_mib * 2 * MIB);
+        }
         self.apps[ai].pods.push(PodRt {
             cid,
             state: PodState::Starting,
+            sec_usage_us: 0.0,
         });
         self.serverless.record_cold_start(self.cfg.cold_start);
         self.pods_spawned += 1;
@@ -900,6 +965,41 @@ mod tests {
                 a.rounds_executed,
                 b.rounds_executed + b.rounds_fast_forwarded
             );
+        }
+    }
+
+    #[test]
+    fn baseline_scalers_drive_the_trace_population() {
+        use escra_baselines::{ArcVConfig, TinyAutoscalerConfig};
+        let w = synthetic_trace(&mega_mix(60, 3, 13));
+        let stat = run_trace_sim(&w, &small_cfg(false, 13));
+        for kind in [
+            BaselineScalerKind::Tiny(TinyAutoscalerConfig::default()),
+            BaselineScalerKind::ArcV(ArcVConfig::default()),
+        ] {
+            let mut cfg = small_cfg(false, 13);
+            cfg.baseline = Some(kind);
+            let out = run_trace_sim(&w, &cfg);
+            assert_eq!(out.metrics.policy, format!("{}-trace", kind.name()));
+            assert!(
+                out.serverless.invocations > 100,
+                "{}: invocations {}",
+                kind.name(),
+                out.serverless.invocations
+            );
+            // Both scalers bill fewer resource-seconds than the static
+            // reservation (the cost-efficiency claim in dollars).
+            assert!(out.serverless.alloc_cpu_core_secs > 0.0);
+            assert!(
+                out.serverless.alloc_mem_mib_secs < stat.serverless.alloc_mem_mib_secs,
+                "{}: alloc mem {} vs static {}",
+                kind.name(),
+                out.serverless.alloc_mem_mib_secs,
+                stat.serverless.alloc_mem_mib_secs
+            );
+            // Reruns are deterministic.
+            let again = run_trace_sim(&w, &cfg);
+            assert_eq!(digest(&out), digest(&again));
         }
     }
 

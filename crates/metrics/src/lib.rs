@@ -15,6 +15,9 @@
 //! * [`serverless`] — serverless-style statistics for the trace-driven
 //!   scenarios: cold starts and their latency, wasted resource-time,
 //!   and absolute execution/total slowdown distributions;
+//! * [`cost`] — the cost model: resource-seconds × configurable unit
+//!   prices plus an OOM-kill penalty, so every comparison can also be
+//!   stated in normalized dollars (the cost-efficiency column);
 //! * [`expo`] — Prometheus-style text exposition and JSON snapshots of
 //!   controller counters, shard depths and decision-latency histograms;
 //! * [`fingerprint`] — canonical FNV-1a state/trace fingerprints used by
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cost;
 pub mod expo;
 pub mod fingerprint;
 pub mod recorders;
@@ -30,6 +34,7 @@ pub mod report;
 pub mod serverless;
 pub mod trace;
 
+pub use cost::{CostBreakdown, CostModel};
 pub use expo::{ExpoSnapshot, HistogramSummary, NamedCounter, PromText, ShardDepth};
 pub use fingerprint::{fingerprint128, trace_fingerprint, Fingerprint, StateHash};
 pub use recorders::{Comparison, LatencyRecorder, RunMetrics, SlackRecorder};

@@ -195,7 +195,10 @@ pub struct Comparison {
 }
 
 fn reduction_pct(baseline: f64, new: f64) -> f64 {
-    if baseline <= 0.0 {
+    // A numerically-zero baseline (tight scalers drive p50 slack to
+    // ~1e-16 cores) makes the percentage meaningless — report 0 rather
+    // than a ±1e17% outlier that would dominate a matrix average.
+    if baseline <= 1e-9 {
         0.0
     } else {
         (baseline - new) / baseline * 100.0

@@ -27,6 +27,11 @@ pub struct ServerlessStats {
     pub wasted_cpu_core_secs: f64,
     /// Integrated memory reservation slack, in MiB-seconds.
     pub wasted_mem_mib_secs: f64,
+    /// Integrated CPU reservation (the limit itself, not its slack), in
+    /// core-seconds — what the cost model bills for.
+    pub alloc_cpu_core_secs: f64,
+    /// Integrated memory reservation, in MiB-seconds.
+    pub alloc_mem_mib_secs: f64,
     /// Absolute execution slowdown distribution, in ms.
     abs_exec_slowdown_ms: LogHistogram,
     /// Absolute total slowdown distribution, in ms.
@@ -65,6 +70,14 @@ impl ServerlessStats {
     pub fn record_wasted(&mut self, cpu_core_secs: f64, mem_mib_secs: f64) {
         self.wasted_cpu_core_secs += cpu_core_secs.max(0.0);
         self.wasted_mem_mib_secs += mem_mib_secs.max(0.0);
+    }
+
+    /// Accumulates *allocated* (reserved) resource-time for one
+    /// accounting interval — the billing integral behind
+    /// [`crate::cost::CostModel::serverless_cost`].
+    pub fn record_allocated(&mut self, cpu_core_secs: f64, mem_mib_secs: f64) {
+        self.alloc_cpu_core_secs += cpu_core_secs.max(0.0);
+        self.alloc_mem_mib_secs += mem_mib_secs.max(0.0);
     }
 
     /// Mean cold-start latency, in ms.
@@ -115,6 +128,8 @@ impl ServerlessStats {
         self.cold_start_ms.merge(&other.cold_start_ms);
         self.wasted_cpu_core_secs += other.wasted_cpu_core_secs;
         self.wasted_mem_mib_secs += other.wasted_mem_mib_secs;
+        self.alloc_cpu_core_secs += other.alloc_cpu_core_secs;
+        self.alloc_mem_mib_secs += other.alloc_mem_mib_secs;
         self.abs_exec_slowdown_ms.merge(&other.abs_exec_slowdown_ms);
         self.abs_total_slowdown_ms
             .merge(&other.abs_total_slowdown_ms);
@@ -186,11 +201,15 @@ mod tests {
             SimDuration::from_millis(20),
             SimDuration::from_millis(30),
         );
+        a.record_allocated(5.0, 50.0);
+        b.record_allocated(7.0, 70.0);
         a.merge(&b);
         assert_eq!(a.cold_starts, 2);
         assert_eq!(a.invocations, 1);
         assert_eq!(a.wasted_cpu_core_secs, 3.0);
         assert_eq!(a.wasted_mem_mib_secs, 30.0);
+        assert_eq!(a.alloc_cpu_core_secs, 12.0);
+        assert_eq!(a.alloc_mem_mib_secs, 120.0);
         assert!(a.cold_start_mean_ms() > 400.0);
     }
 }

@@ -44,11 +44,25 @@ echo "== sim scale smoke (10k nodes, 1M+ container-periods vs committed baseline
 # below half the committed BENCH_sim.json rate.
 cargo run -q -p escra-bench --release --bin sim_scale -- --smoke --check
 
+echo "== policy conformance (all five PeriodicScaler impls) =="
+# Trait-level property suite: same-seed determinism, floor/capacity
+# bounds, no NaN/inf quotas under adversarial traces, quiescence
+# idempotence, forgotten containers, microsim pool conservation — for
+# Static, Autopilot, VPA, tiny autoscaler and ARC-V alike.
+cargo test -q --test policy_conformance
+
 echo "== parallel sweep identity (parallel vs serial, byte-for-byte) =="
 # The experiment bins run on the parallel sweep runner; --serial re-runs
 # the same grid serially and fails unless the JSON dumps are identical.
+# table1 covers the enlarged 5-policy matrix (tiny + ARC-V rows with the
+# cost columns) on 4 workers vs the serial reference.
 cargo run -q -p escra-bench --release --bin report_period_sweep -- --smoke --serial
-cargo run -q -p escra-bench --release --bin table1_summary -- --smoke --serial
+cargo run -q -p escra-bench --release --bin table1_summary -- --smoke --serial --threads 4
+
+echo "== baseline serverless + trace cost smoke (tiny / ARC-V / Escra) =="
+# Both OpenWhisk-style apps and a trace mega-mix smoke under the
+# baseline-scaler modes, with the cost-efficiency columns.
+cargo run -q -p escra-bench --release --bin baseline_serverless -- --smoke
 
 echo "== trace determinism (serial vs sharded, byte-for-byte) =="
 # trace_dump replays a fixed-seed faulty scenario with every component

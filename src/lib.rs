@@ -21,7 +21,7 @@
 //! | [`cfs`] | `escra-cfs` | simulated CFS bandwidth control + memory cgroups |
 //! | [`cluster`] | `escra-cluster` | nodes, containers, deployer, watcher |
 //! | [`net`] | `escra-net` | control-plane fabric + bandwidth accounting |
-//! | [`baselines`] | `escra-baselines` | Static, Autopilot recreation, VPA |
+//! | [`baselines`] | `escra-baselines` | Static, Autopilot recreation, VPA, tiny autoscaler, ARC-V |
 //! | [`workloads`] | `escra-workloads` | the paper's apps, workloads, serverless substrate |
 //! | [`metrics`] | `escra-metrics` | latency/slack recorders, report tables |
 //! | [`harness`] | `escra-harness` | the experiment runners |

@@ -1,0 +1,127 @@
+//! Golden-matrix regression test: pins the pre-PR summary numbers of the
+//! pre-existing policies (static-1.5×, Autopilot, VPA, Escra) on two
+//! representative table1/fig4 cells, as committed fixtures.
+//!
+//! Every number in Table I and Fig. 4 is a pure function of the
+//! [`RunMetrics`] pinned here (p99.9 latency, throughput, slack
+//! percentiles, OOM counts, mean aggregate limits), so byte-identical
+//! fixtures prove that adding new baseline policies and the cost column
+//! did not perturb any committed baseline result.
+//!
+//! Regenerate (only when an intentional simulator change invalidates the
+//! numbers) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_matrix
+//! ```
+
+use escra::baselines::VpaConfig;
+use escra::harness::{profile_run, run_with_profiles, MicroSimConfig, Policy};
+use escra::metrics::RunMetrics;
+use escra::simcore::time::SimDuration;
+use escra::workloads::{hipster_shop, teastore, MicroserviceApp, WorkloadKind};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Matches `escra_bench::SEED` (the committed-artifact master seed).
+const SEED: u64 = 20220701;
+/// Matches `escra_bench::SMOKE_RUN_SECS` (the CI smoke duration).
+const RUN_SECS: u64 = 8;
+
+fn cells() -> Vec<(&'static str, MicroserviceApp, &'static str, WorkloadKind)> {
+    vec![
+        ("Teastore", teastore(), "fixed", WorkloadKind::paper_fixed()),
+        (
+            "HipsterShop",
+            hipster_shop(),
+            "burst",
+            WorkloadKind::paper_burst(),
+        ),
+    ]
+}
+
+/// One pinned line per run: every quantity the table1/fig4 summaries are
+/// computed from, at fixed precision.
+fn summary_line(app: &str, workload: &str, m: &RunMetrics) -> String {
+    let mut s = String::new();
+    write!(
+        s,
+        "cell={app}/{workload} policy={} succ={} fail={} tput={:.6} p999={:.6} \
+         cpu_p50={:.6} cpu_p99={:.6} mem_p50={:.6} mem_p99={:.6} oom={} \
+         cpu_lim_mean={:.6} mem_lim_mean={:.6} lim_samples={}",
+        m.policy,
+        m.latency.successes(),
+        m.latency.failures(),
+        m.throughput(),
+        m.latency.p(99.9),
+        m.slack.cpu_p(50.0),
+        m.slack.cpu_p(99.0),
+        m.slack.mem_p(50.0),
+        m.slack.mem_p(99.0),
+        m.oom_kills,
+        m.cpu_limit_series.mean(),
+        m.mem_limit_series.mean(),
+        m.cpu_limit_series.len(),
+    )
+    .expect("write to string");
+    s
+}
+
+fn render_matrix() -> String {
+    let mut out = String::new();
+    for (app_name, app, wl_name, wl) in cells() {
+        let base = MicroSimConfig::new(app, wl, Policy::static_1_5x(), SEED)
+            .with_duration(SimDuration::from_secs(RUN_SECS));
+        let profiles = profile_run(&base);
+        for policy in [
+            Policy::static_1_5x(),
+            Policy::autopilot_default(),
+            Policy::Vpa(VpaConfig::default()),
+            Policy::escra_default(),
+        ] {
+            let cfg = MicroSimConfig {
+                policy,
+                ..base.clone()
+            };
+            let m = run_with_profiles(&cfg, &profiles).metrics;
+            out.push_str(&summary_line(app_name, wl_name, &m));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn baseline_numbers_match_committed_fixture() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/matrix_baselines.txt");
+    let rendered = render_matrix();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(fixture.parent().expect("fixture dir")).expect("mkdir");
+        std::fs::write(&fixture, &rendered).expect("write fixture");
+        eprintln!("regenerated {}", fixture.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&fixture).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with GOLDEN_REGEN=1",
+            fixture.display()
+        )
+    });
+    if committed != rendered {
+        for (i, (want, got)) in committed.lines().zip(rendered.lines()).enumerate() {
+            if want != got {
+                panic!(
+                    "golden matrix diverged at line {}:\n  committed: {}\n  computed:  {}",
+                    i + 1,
+                    want,
+                    got
+                );
+            }
+        }
+        panic!(
+            "golden matrix line count changed: committed {} vs computed {}",
+            committed.lines().count(),
+            rendered.lines().count()
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! Trait-level conformance suite for every [`PeriodicScaler`] impl
+//! (Static, Autopilot, VPA, tiny autoscaler, ARC-V): the contract the
+//! harness drivers rely on, checked uniformly across policies —
+//!
+//! * same-seed determinism: two fresh scalers fed the same trace emit
+//!   byte-identical decision streams;
+//! * all emitted limits stay within `[floor, node capacity]`;
+//! * adversarial traces (spikes, zeros, sawtooth, phase flips) never
+//!   produce NaN/infinite/non-positive quotas;
+//! * idempotence at quiescence: flat usage converges to silence instead
+//!   of re-emitting the same limits forever;
+//! * forgotten containers stay forgotten (no updates for dead pods);
+//! * pool conservation through the microsim: under every [`Policy`] the
+//!   aggregate limit series stays within the cluster's core pool.
+//!
+//! [`PeriodicScaler`]: escra::baselines::PeriodicScaler
+//! [`Policy`]: escra::harness::Policy
+
+use escra::baselines::{
+    ArcVConfig, ArcVScaler, AutopilotConfig, AutopilotScaler, ContainerProfile, LimitUpdate,
+    PeriodicScaler, StaticPolicy, TinyAutoscaler, TinyAutoscalerConfig, UsageSample, VpaConfig,
+    VpaScaler,
+};
+use escra::cfs::MIB;
+use escra::cluster::ContainerId;
+use escra::harness::{profile_run, run_with_profiles, MicroSimConfig, Policy};
+use escra::simcore::time::SimDuration;
+use escra::workloads::{teastore, WorkloadKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Containers driven through every scaler.
+const N_CONTAINERS: u64 = 4;
+/// The common CPU ceiling of the scaler configs (tiny/ARC-V node
+/// capacity; the trace keeps usage far below it, so threshold scalers
+/// like VPA/Autopilot cannot legitimately exceed it either).
+const CAPACITY_CORES: f64 = 64.0;
+/// The common memory ceiling (64 GiB).
+const CAPACITY_BYTES: u64 = 64 * 1024 * MIB;
+
+fn ids() -> Vec<ContainerId> {
+    (0..N_CONTAINERS).map(ContainerId::new).collect()
+}
+
+/// All five impls behind the trait, by report name.
+fn scalers() -> Vec<(&'static str, Box<dyn PeriodicScaler>)> {
+    let mut profiles = BTreeMap::new();
+    for id in ids() {
+        profiles.insert(
+            id,
+            ContainerProfile {
+                peak_cpu_cores: 1.0,
+                peak_mem_bytes: 256 * MIB,
+            },
+        );
+    }
+    vec![
+        (
+            "static-1.5x",
+            Box::new(StaticPolicy::from_profiles(&profiles, 1.5)) as Box<dyn PeriodicScaler>,
+        ),
+        (
+            "autopilot",
+            Box::new(AutopilotScaler::new(AutopilotConfig::default())),
+        ),
+        ("vpa", Box::new(VpaScaler::new(VpaConfig::default()))),
+        (
+            "tiny",
+            Box::new(TinyAutoscaler::new(TinyAutoscalerConfig::default())),
+        ),
+        ("arc-v", Box::new(ArcVScaler::new(ArcVConfig::default()))),
+    ]
+}
+
+/// Deterministic xorshift64* stream for the adversarial traces.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One adversarial usage sample: spikes, zeros, sawtooth ramps, phase
+/// flips, and occasional near-zero denormal-ish usage. CPU stays in
+/// [0, 8] cores (below every validator's capacity), memory in
+/// [0, 2 GiB].
+fn adversarial_sample(rng: &mut Rng, step: u64, container: u64) -> UsageSample {
+    let phase = (step / 17 + container) % 5;
+    let cpu = match phase {
+        0 => 0.0,                      // idle stretch
+        1 => 8.0 * rng.next_f64(),     // noise up to "capacity"
+        2 => (step % 13) as f64 * 0.6, // sawtooth ramp
+        3 => 1e-12,                    // pathologically tiny
+        _ => {
+            if step.is_multiple_of(2) {
+                7.9
+            } else {
+                0.1 // alternating extremes
+            }
+        }
+    };
+    let mem = match phase {
+        0 => 0,
+        1 => (2048.0 * rng.next_f64()) as u64 * MIB,
+        2 => (step % 13) * 100 * MIB,
+        3 => 1,
+        _ => {
+            if step.is_multiple_of(2) {
+                2048 * MIB
+            } else {
+                16 * MIB
+            }
+        }
+    };
+    UsageSample {
+        cpu_cores: cpu,
+        mem_bytes: mem,
+    }
+}
+
+/// Drives `scaler` through the full lifecycle on the adversarial trace
+/// (track → observe → recommend → on_oom → forget) and returns the
+/// Debug-formatted decision stream plus every update emitted.
+fn drive(scaler: &mut dyn PeriodicScaler, seed: u64, steps: u64) -> (String, Vec<LimitUpdate>) {
+    let mut rng = Rng(seed | 1);
+    let mut stream = String::new();
+    let mut all = Vec::new();
+    for id in ids() {
+        scaler.track(id, 2.0, 256 * MIB);
+    }
+    for step in 0..steps {
+        for id in ids() {
+            scaler.observe(id, adversarial_sample(&mut rng, step, id.as_u64()));
+        }
+        if step.is_multiple_of(31) {
+            scaler.on_oom(ids()[0], 256 * MIB);
+        }
+        let updates = scaler.recommend();
+        writeln!(stream, "step {step}: {updates:?}").expect("write to string");
+        all.extend(updates);
+    }
+    (stream, all)
+}
+
+#[test]
+fn same_seed_decision_streams_are_byte_identical() {
+    for ((name, mut a), (_, mut b)) in scalers().into_iter().zip(scalers()) {
+        let (stream_a, _) = drive(a.as_mut(), 0xE5C4A, 120);
+        let (stream_b, _) = drive(b.as_mut(), 0xE5C4A, 120);
+        assert_eq!(
+            stream_a, stream_b,
+            "{name}: decision stream must be a pure function of the trace"
+        );
+        assert!(!stream_a.is_empty());
+    }
+}
+
+#[test]
+fn limits_stay_within_floor_and_capacity() {
+    for (name, mut s) in scalers() {
+        let (_, updates) = drive(s.as_mut(), 7, 200);
+        assert!(
+            !updates.is_empty(),
+            "{name}: the adversarial trace must provoke at least one decision"
+        );
+        for u in &updates {
+            if let Some(cpu) = u.cpu_limit_cores {
+                assert!(
+                    cpu > 0.0 && cpu <= CAPACITY_CORES,
+                    "{name}: cpu limit {cpu} outside (0, {CAPACITY_CORES}]"
+                );
+            }
+            if let Some(mem) = u.mem_limit_bytes {
+                assert!(
+                    mem > 0 && mem <= CAPACITY_BYTES,
+                    "{name}: mem limit {mem} outside (0, {CAPACITY_BYTES}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_traces_never_produce_nan_inf_or_negative_quotas() {
+    for (name, mut s) in scalers() {
+        for seed in [1u64, 42, 0xDEAD] {
+            let (_, updates) = drive(s.as_mut(), seed, 150);
+            for u in updates {
+                if let Some(cpu) = u.cpu_limit_cores {
+                    assert!(
+                        cpu.is_finite() && cpu > 0.0,
+                        "{name}: quota {cpu} is NaN/inf/non-positive"
+                    );
+                }
+                if let Some(mem) = u.mem_limit_bytes {
+                    assert!(mem > 0, "{name}: zero memory limit");
+                }
+                assert!(
+                    u.container.as_u64() < N_CONTAINERS,
+                    "{name}: update for unknown container {}",
+                    u.container
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quiescence_is_idempotent() {
+    // Flat mid-range usage against seeded limits: every scaler must
+    // converge to silence instead of re-emitting the same limits. The
+    // settle phase outlasts Autopilot's slowest histogram arm (600-sample
+    // half-life) — its profile seed legitimately takes thousands of
+    // samples to decay out of the percentiles.
+    let flat = UsageSample {
+        cpu_cores: 1.0,
+        mem_bytes: 128 * MIB,
+    };
+    const ROUNDS: usize = 3000;
+    const TAIL: usize = 100;
+    for (name, mut s) in scalers() {
+        for id in ids() {
+            s.track(id, 2.0, 256 * MIB);
+        }
+        let mut tail_updates = 0;
+        for round in 0..ROUNDS {
+            for id in ids() {
+                s.observe(id, flat);
+            }
+            let updates = s.recommend();
+            if round >= ROUNDS - TAIL {
+                tail_updates += updates.len();
+            }
+        }
+        assert_eq!(
+            tail_updates,
+            0,
+            "{name}: still churning under flat usage after {} rounds",
+            ROUNDS - TAIL
+        );
+    }
+}
+
+#[test]
+fn forgotten_containers_stay_forgotten() {
+    let busy = UsageSample {
+        cpu_cores: 6.0,
+        mem_bytes: 1024 * MIB,
+    };
+    for (name, mut s) in scalers() {
+        for id in ids() {
+            s.track(id, 0.5, 64 * MIB);
+        }
+        // Saturate so every scaler has pending pressure, then tear down.
+        for _ in 0..40 {
+            for id in ids() {
+                s.observe(id, busy);
+            }
+            s.recommend();
+        }
+        let dead = ids()[1];
+        s.forget(dead);
+        s.on_oom(ids()[0], 64 * MIB);
+        for _ in 0..40 {
+            for id in ids() {
+                if id != dead {
+                    s.observe(id, busy);
+                }
+            }
+            for u in s.recommend() {
+                assert_ne!(
+                    u.container, dead,
+                    "{name}: emitted an update for a torn-down container"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_is_conserved_through_the_microsim() {
+    let policies = [
+        Policy::static_1_5x(),
+        Policy::autopilot_default(),
+        Policy::Vpa(VpaConfig::default()),
+        Policy::tiny_default(),
+        Policy::arc_v_default(),
+    ];
+    let base = MicroSimConfig::new(
+        teastore(),
+        WorkloadKind::Fixed { rps: 120.0 },
+        Policy::static_1_5x(),
+        11,
+    )
+    .with_duration(SimDuration::from_secs(8));
+    let profiles = profile_run(&base);
+    let pool_cores = (base.worker_nodes * base.node_cores as usize) as f64;
+    for policy in policies {
+        let name = policy.name();
+        let cfg = MicroSimConfig {
+            policy,
+            ..base.clone()
+        };
+        let m = run_with_profiles(&cfg, &profiles).metrics;
+        assert!(m.latency.successes() > 0, "{name}: no requests served");
+        assert!(m.throughput().is_finite() && m.throughput() > 0.0, "{name}");
+        let mut samples = 0;
+        for (_, cores) in m.cpu_limit_series.iter() {
+            samples += 1;
+            assert!(
+                cores.is_finite() && cores > 0.0 && cores <= pool_cores,
+                "{name}: aggregate cpu limit {cores} outside (0, {pool_cores}] cores"
+            );
+        }
+        assert!(samples > 0, "{name}: no limit telemetry recorded");
+        for (_, mib) in m.mem_limit_series.iter() {
+            assert!(
+                mib.is_finite() && mib > 0.0,
+                "{name}: aggregate mem limit {mib} MiB invalid"
+            );
+        }
+        for p in [50.0, 99.0] {
+            assert!(m.slack.cpu_p(p) >= 0.0, "{name}: negative cpu slack");
+            assert!(m.slack.mem_p(p) >= 0.0, "{name}: negative mem slack");
+        }
+    }
+}
